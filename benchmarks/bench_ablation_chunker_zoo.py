@@ -1,0 +1,18 @@
+"""Ablation — every chunk-forming strategy on one playing field.
+
+BAG and SR (the paper's contenders), TSVQ and CF/Clindex (the related
+work), the hybrid proposal, and the round-robin/random strawmen, all over
+the MEDIUM retained collection.  Expected: locality-aware strategies beat
+the strawmen on chunks-to-quality; CF's tiny arbitrary cells make its
+completion dramatically slower (the paper's reason for not using it).
+"""
+
+from repro.experiments.ablations import run_chunker_zoo
+
+
+def bench_ablation_chunker_zoo(run_once, data):
+    result = run_once(run_chunker_zoo, data)
+    rows = {row[0]: row for row in result.rows}
+    for locality_aware in ("BAG", "SR", "TSVQ", "HYB"):
+        assert rows[locality_aware][3] < rows["RAND"][3]
+    assert rows["CF"][5] > rows["SR"][5]  # the CF critique

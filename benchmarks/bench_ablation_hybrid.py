@@ -1,0 +1,14 @@
+"""Ablation — the paper's concluding proposal: uniform chunk size first,
+intra-chunk dissimilarity second (balanced k-means), vs both extremes.
+
+Expected: the hybrid needs BAG-like few chunks for mid quality while
+keeping SR-like smooth time delivery.
+"""
+
+from repro.experiments.ablations import run_hybrid_ablation
+
+
+def bench_ablation_hybrid(run_once, data):
+    result = run_once(run_hybrid_ablation, data)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["HYB/MEDIUM"][3] <= rows["SR/MEDIUM"][3] * 1.5

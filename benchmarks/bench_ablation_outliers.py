@@ -1,0 +1,14 @@
+"""Ablation — BAG outlier removal vs the norm-threshold scheme.
+
+Paper section 5.2: the simpler scheme ("removing all descriptors with
+total length greater than a constant") gave "almost identical results".
+Both variants build an SR index at the SMALL chunk size and run DQ.
+"""
+
+from repro.experiments.ablations import run_outlier_ablation
+
+
+def bench_ablation_outliers(run_once, data):
+    result = run_once(run_outlier_ablation, data)
+    chunks = [row[2] for row in result.rows]
+    assert max(chunks) <= 5 * min(chunks)

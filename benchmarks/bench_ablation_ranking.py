@@ -1,0 +1,20 @@
+"""Ablation — chunk ranking rule: centroid distance (paper) vs the lower
+bound d(centroid) - radius.
+
+Observed trade-off (both scales): centroid ranking reaches mid quality in
+fewer chunks (it visits dense nearby chunks first), while lower-bound
+ranking *completes* in fewer chunks — the ranking then agrees with the
+completion proof, so the proof fires sooner.  The paper's choice of
+centroid ranking optimizes early quality, which is the approximate-search
+regime it cares about.
+"""
+
+from repro.experiments.ablations import run_ranking_ablation
+
+
+def bench_ablation_ranking(run_once, data):
+    result = run_once(run_ranking_ablation, data)
+    for row in result.rows:
+        family, q_centroid, q_bound, done_centroid, done_bound = row
+        assert q_centroid <= q_bound * 1.1   # centroid: better early quality
+        assert done_bound <= done_centroid * 1.1  # bound: earlier completion

@@ -1,0 +1,20 @@
+"""Ablation — related-work shootout (paper section 6).
+
+Chunk search, Medrank, approximate VA-file, P-Sphere trees, and DBIN on
+one collection/workload, reporting recall@10 vs descriptors scanned.
+Expected: the distance-free Medrank trails in recall; VA-file and DBIN
+reach high recall at the cost of broader scans; P-Sphere and the chunk
+search occupy the low-work middle ground.
+"""
+
+from repro.experiments.ablations import run_related_work_shootout
+
+
+def bench_ablation_related_work(run_once, data):
+    result = run_once(run_related_work_shootout, data)
+    rows = {row[0]: row for row in result.rows}
+    for scheme, row in rows.items():
+        assert 0.0 <= row[1] <= 1.0, scheme
+    # Distance-based schemes beat the projection-only Medrank.
+    assert rows["chunk-search(5)"][1] > rows["medrank"][1]
+    assert rows["va-file"][1] > rows["medrank"][1]

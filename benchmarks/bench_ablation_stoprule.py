@@ -1,0 +1,15 @@
+"""Ablation — stop rule: fixed chunk count vs matched time budget.
+
+The paper's second lesson (section 5.7): elapsed time is the more natural
+stop rule, because variably sized chunks make a chunk count a poor proxy
+for time.  The time budget is set to the chunk rule's mean spend, so the
+comparison is effort-matched.
+"""
+
+from repro.experiments.ablations import run_stop_rule_ablation
+
+
+def bench_ablation_stoprule(run_once, data):
+    result = run_once(run_stop_rule_ablation, data)
+    for row in result.rows:
+        assert 0.0 <= row[2] <= 1.0 and 0.0 <= row[4] <= 1.0

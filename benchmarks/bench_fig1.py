@@ -1,0 +1,16 @@
+"""Figure 1 — sizes of the 30 largest chunks (log scale in the paper).
+
+Paper shape: BAG's largest chunks hold 0.5-1M descriptors (2-3 orders of
+magnitude above the 947-2,486 average); SR curves are flat at the uniform
+leaf size.
+"""
+
+from repro.experiments import fig1
+
+
+def bench_fig1(run_once, data):
+    result = run_once(fig1.run, data)
+    for size_class in ("SMALL", "MEDIUM", "LARGE"):
+        assert result.series[f"BAG/{size_class}"][0] > 5 * max(
+            result.series[f"SR/{size_class}"]
+        )

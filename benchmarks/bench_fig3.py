@@ -1,0 +1,20 @@
+"""Figure 3 — chunks required to find N nearest neighbors (SQ workload).
+
+Paper shape: the BAG advantage shrinks and SR becomes slightly better,
+because BAG reads several small chunks where SR reads a few uniform ones.
+At our reproduction scale the *sign* does not flip — synthetic 24-d space
+queries are uniformly remote, where BAG's tight radii keep pruning better
+— recorded as the one sign deviation in EXPERIMENTS.md.
+"""
+
+from repro.experiments.quality_figures import run_fig3
+
+
+def bench_fig3(run_once, data):
+    result = run_once(run_fig3, data)
+    mid = 20
+    # Both families produce monotone, finite curves; BAG remains ahead at
+    # our scale (the documented deviation from the paper's slight SR win).
+    assert result.series["BAG/MEDIUM"][mid] <= result.series["SR/MEDIUM"][mid]
+    for series in result.series.values():
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,17 @@
+"""Figure 5 — elapsed time to find N nearest neighbors (SQ workload).
+
+Paper shape: all six indexes perform very similarly (for space queries the
+BAG indexes avoid their giant chunks); the ~index-read offset is visible
+at N=0.
+"""
+
+from repro.experiments.quality_figures import run_fig5
+
+
+def bench_fig5(run_once, data):
+    result = run_once(run_fig5, data)
+    # Early times are similar across all six indexes (within 3x).
+    early = [series[3] for series in result.series.values()]
+    assert max(early) < 3 * min(early)
+    for series in result.series.values():
+        assert series[0] > 0  # index-read offset

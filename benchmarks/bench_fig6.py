@@ -1,0 +1,18 @@
+"""Figure 6 — effect of chunk size, DQ workload (the paper's Experiment 2).
+
+16 SR-tree chunk indexes spanning decades of chunk size; time to find
+{1,10,20,25,28,30} of the 30 NN vs chunk size (log x in the paper).
+
+Paper shape: a wide flat valley — chunk sizes of 1,000-10,000 all perform
+alike; the '30 neighbors' series sits far above '1 neighbor'.
+"""
+
+from repro.experiments.chunk_size_sweep import run_fig6
+
+
+def bench_fig6(run_once, data):
+    result = run_once(run_fig6, data)
+    thirty, one = result.series["30 neighbors"], result.series["1 neighbor"]
+    assert all(a >= b for a, b in zip(thirty, one))
+    interior_best = min(thirty[1:-1])
+    assert interior_best <= min(thirty[0], thirty[-1]) + 1e-9

@@ -1,0 +1,18 @@
+"""Figure 7 — effect of chunk size, SQ workload.
+
+Same sweep as Figure 6 under space queries; the paper's valley persists
+with higher absolute times (no perfect match exists for SQ queries).
+"""
+
+from repro.experiments.chunk_size_sweep import run_fig6, run_fig7
+
+
+def bench_fig7(run_once, data):
+    result = run_once(run_fig7, data)
+    thirty = result.series["30 neighbors"]
+    interior_best = min(thirty[1:-1])
+    assert interior_best <= min(thirty[0], thirty[-1]) + 1e-9
+    # SQ completion-quality times are at least DQ's at the valley.
+    dq = run_fig6(data)
+    mid = len(thirty) // 2
+    assert thirty[mid] >= 0.8 * dq.series["30 neighbors"][mid]

@@ -1,0 +1,19 @@
+"""Table 1 — properties of the BAG and SR-tree chunk indexes.
+
+Paper values (5M descriptors):
+
+    SMALL : 4,471,532 retained, 12.2% outliers, 4,720/4,747 chunks, 947/942 per chunk
+    MEDIUM: 4,595,312 retained,  9.2% outliers, 2,685/2,672 chunks, 1,711/1,719
+    LARGE : 4,652,022 retained,  8.0% outliers, 1,871/1,863 chunks, 2,486/2,497
+
+Expected reproduced shape: outlier %% falls SMALL->LARGE; BAG and SR chunk
+counts nearly equal per class; per-chunk sizes rise ~1 : 2 : 3.
+"""
+
+from repro.experiments import table1
+
+
+def bench_table1(run_once, data):
+    result = run_once(table1.run, data)
+    outlier_pcts = [row[3] for row in result.rows]
+    assert outlier_pcts[0] >= outlier_pcts[1] >= outlier_pcts[2]

@@ -1,0 +1,20 @@
+"""Table 2 — time to completion (seconds).
+
+Paper values (s):        BAG DQ  BAG SQ  SR DQ  SR SQ
+    SMALL                  39.5    44.6   45.0   45.0
+    MEDIUM                 23.4    26.7   31.3   31.2
+    LARGE                  16.7    20.3   25.2   25.5
+
+Expected reproduced shape: BAG completes before SR (DQ column); both
+families complete faster with larger chunks.
+"""
+
+from repro.experiments import table2
+
+
+def bench_table2(run_once, data):
+    result = run_once(table2.run, data)
+    for row in result.rows:
+        assert row[1] < row[3]  # BAG DQ < SR DQ
+    for col in range(1, 5):
+        assert result.rows[0][col] > result.rows[2][col]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures (or an
+ablation) at the scale selected by ``REPRO_BENCH_SCALE`` (``default``
+unless overridden; set ``REPRO_BENCH_SCALE=test`` for a fast smoke run).
+The expensive data preparation — synthetic collection, the BAG run, the
+six chunk indexes, ground truths, and run-to-completion traces — is shared
+across every benchmark in the session.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.data import prepare
+
+
+@pytest.fixture(scope="session")
+def data():
+    scale_name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    return prepare(get_scale(scale_name))
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment driver exactly once under pytest-benchmark and
+    print its rendered rows (the numbers the paper's artefact reports)."""
+
+    def runner(fn, *args):
+        result = benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner

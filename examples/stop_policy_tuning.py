@@ -1,0 +1,100 @@
+"""Tuning the approximation policy: every stop rule on one dial.
+
+The paper's stop rules (chunk count, time budget, exact completion) bound
+*effort*; the related-work rules implemented in
+:mod:`repro.core.approx_rules` bound *error*:
+
+* ``EpsilonApproximation`` (AC-NN): guarantee the k-th neighbor within a
+  (1 + epsilon) factor of the truth;
+* ``PacApproximation`` (PAC-NN): the same, probably — with confidence
+  1 - delta estimated from a sampled distance distribution.
+
+This example sweeps all of them over one DQ workload and prints the
+resulting (time, precision@30) frontier, so a user can pick a policy by
+looking at the actual trade-off curve rather than guessing.
+
+Run with: ``python examples/stop_policy_tuning.py``
+"""
+
+import numpy as np
+
+from repro import (
+    ChunkSearcher,
+    EpsilonApproximation,
+    ExactCompletion,
+    MaxChunks,
+    PacApproximation,
+    SRTreeChunker,
+    SyntheticImageConfig,
+    TimeBudget,
+    build_chunk_index,
+    generate_collection,
+    precision_at_k,
+)
+from repro.core.ground_truth import GroundTruthStore
+from repro.workloads.queries import dataset_queries
+
+K = 30
+N_QUERIES = 25
+
+
+def main() -> None:
+    collection = generate_collection(
+        SyntheticImageConfig(
+            n_images=120,
+            mean_descriptors_per_image=50,
+            pattern_std=0.05,
+            pattern_scale_range=(-1.1, 0.0),
+            seed=11,
+        )
+    )
+    chunking = SRTreeChunker(leaf_capacity=96).form_chunks(collection)
+    index = build_chunk_index(chunking.retained, chunking.chunk_set)
+    searcher = ChunkSearcher(index)
+    workload = dataset_queries(collection, N_QUERIES, seed=2)
+    truth = GroundTruthStore.compute(collection, workload.queries, K)
+    print(f"{len(collection)} descriptors, {index.n_chunks} chunks\n")
+
+    policies = {
+        "exact completion": ExactCompletion(),
+        "max 2 chunks": MaxChunks(2),
+        "max 8 chunks": MaxChunks(8),
+        "time budget 40 ms": TimeBudget(0.040),
+        "time budget 120 ms": TimeBudget(0.120),
+        "epsilon 0.05": EpsilonApproximation(0.05, K),
+        "epsilon 0.20": EpsilonApproximation(0.20, K),
+        "epsilon 0.50": EpsilonApproximation(0.50, K),
+        "PAC(0.2, 0.05)": PacApproximation.for_index(
+            index, collection, epsilon=0.2, delta=0.05
+        ),
+        "PAC(0.2, 0.20)": PacApproximation.for_index(
+            index, collection, epsilon=0.2, delta=0.20
+        ),
+    }
+
+    header = f"{'policy':20} {'mean chunks':>12} {'mean time ms':>13} {'precision@30':>13}"
+    print(header)
+    print("-" * len(header))
+    for name, policy in policies.items():
+        chunks, times, precisions = [], [], []
+        for i, query in enumerate(workload.queries):
+            result = searcher.search(query, k=K, stop_rule=policy)
+            chunks.append(result.chunks_read)
+            times.append(result.elapsed_s)
+            precisions.append(precision_at_k(result.neighbor_ids(), truth.get(i)))
+        print(
+            f"{name:20} {np.mean(chunks):>12.1f} "
+            f"{np.mean(times) * 1000:>13.1f} {np.mean(precisions):>13.3f}"
+        )
+
+    print(
+        "\nFixed-effort rules (chunks/time) trade precision directly for"
+        "\nspeed.  The error-bounded rules keep their guarantee: epsilon"
+        "\nsaves little here because uniform SR chunks have wide radii"
+        "\n(loose lower bounds), while PAC trims the completion tail by"
+        "\naccepting a small probability of a miss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — reproduction of "The Quality vs. Time Trade-off for Approximate
+Image Descriptor Search" (Sigurðardóttir, Hauksson, Jónsson, Amsaleg; ICDE
+Workshops / EMMA 2005).
+
+The library implements the paper's full system from scratch:
+
+* a chunked approximate nearest-neighbor search engine over image
+  descriptors (:mod:`repro.core`),
+* the two chunk-forming strategies under study — SR-tree leaves
+  (:mod:`repro.srtree`, :class:`repro.chunking.SRTreeChunker`) and the BAG
+  clustering algorithm (:class:`repro.chunking.BagClusterer`) — plus
+  baselines and the paper's proposed hybrid,
+* the two-file on-disk chunk index (:mod:`repro.storage`),
+* a calibrated simulated disk/CPU substrate reproducing the paper's 2005
+  hardware timings (:mod:`repro.simio`),
+* synthetic descriptor workloads standing in for the paper's 5M-descriptor
+  collection (:mod:`repro.workloads`), and
+* experiment drivers regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import (SyntheticImageConfig, generate_collection,
+...                    SRTreeChunker, build_chunk_index, ChunkSearcher)
+>>> collection = generate_collection(SyntheticImageConfig(n_images=50, seed=7))
+>>> chunks = SRTreeChunker(leaf_capacity=64).form_chunks(collection)
+>>> index = build_chunk_index(chunks.retained, chunks.chunk_set, name="SR/demo")
+>>> result = ChunkSearcher(index).search(collection.vectors[0], k=10)
+>>> result.completed
+True
+"""
+
+from .chunking import (
+    BagClusterer,
+    Chunker,
+    ChunkingResult,
+    HybridChunker,
+    RandomChunker,
+    RoundRobinChunker,
+    SRTreeChunker,
+    estimate_mpi,
+)
+from .core import (
+    ChunkIndex,
+    ChunkIndexMaintainer,
+    EpsilonApproximation,
+    PacApproximation,
+    ChunkSearcher,
+    DescriptorCollection,
+    ExactCompletion,
+    GroundTruthStore,
+    MaxChunks,
+    NeighborSet,
+    SearchResult,
+    TimeBudget,
+    build_chunk_index,
+    exact_knn,
+    precision_at_k,
+)
+from .simio import PAPER_2005_COST_MODEL, CostModel, CpuModel, DiskModel
+from .srtree import SRTree, bulk_load
+from .system import ImageRetrievalSystem
+from .workloads import (
+    SyntheticImageConfig,
+    Workload,
+    dataset_queries,
+    generate_collection,
+    space_queries,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BagClusterer",
+    "Chunker",
+    "ChunkingResult",
+    "HybridChunker",
+    "RandomChunker",
+    "RoundRobinChunker",
+    "SRTreeChunker",
+    "estimate_mpi",
+    "ChunkIndex",
+    "ChunkIndexMaintainer",
+    "EpsilonApproximation",
+    "PacApproximation",
+    "ChunkSearcher",
+    "DescriptorCollection",
+    "ExactCompletion",
+    "GroundTruthStore",
+    "MaxChunks",
+    "NeighborSet",
+    "SearchResult",
+    "TimeBudget",
+    "build_chunk_index",
+    "exact_knn",
+    "precision_at_k",
+    "PAPER_2005_COST_MODEL",
+    "CostModel",
+    "CpuModel",
+    "DiskModel",
+    "SRTree",
+    "bulk_load",
+    "ImageRetrievalSystem",
+    "SyntheticImageConfig",
+    "Workload",
+    "dataset_queries",
+    "generate_collection",
+    "space_queries",
+    "__version__",
+]

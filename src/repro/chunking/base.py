@@ -1,0 +1,112 @@
+"""Chunk-forming strategy interface.
+
+Every strategy consumes a :class:`~repro.core.dataset.DescriptorCollection`
+and produces a :class:`ChunkingResult`: the retained descriptors grouped
+into chunks, plus the rows it discarded as outliers (only BAG discards any
+by itself; see :mod:`repro.chunking.outliers` for the standalone filters).
+
+Table 1 of the paper is exactly the summary of a list of these results:
+retained/discarded counts, outlier percentage, chunk count and mean chunk
+size per strategy and size class.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from ..core.chunk import ChunkSet
+from ..core.dataset import DescriptorCollection
+
+__all__ = ["Chunker", "ChunkingResult"]
+
+
+@dataclasses.dataclass
+class ChunkingResult:
+    """Outcome of one chunk-forming run.
+
+    Attributes
+    ----------
+    original:
+        The input collection.
+    retained:
+        The sub-collection that made it into chunks.
+    chunk_set:
+        Chunks over ``retained`` (member rows index into ``retained``).
+    outlier_rows:
+        Row positions *in the original collection* that were discarded.
+    build_info:
+        Free-form strategy diagnostics (passes run, merge counts, build
+        seconds, ...), surfaced by the experiment reports.
+    """
+
+    original: DescriptorCollection
+    retained: DescriptorCollection
+    chunk_set: ChunkSet
+    outlier_rows: np.ndarray
+    build_info: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.outlier_rows = np.asarray(self.outlier_rows, dtype=np.intp)
+        if len(self.retained) + self.outlier_rows.size != len(self.original):
+            raise ValueError(
+                "retained descriptors + outliers must account for the whole "
+                f"collection ({len(self.retained)} + {self.outlier_rows.size} "
+                f"!= {len(self.original)})"
+            )
+        if self.chunk_set.collection is not self.retained:
+            raise ValueError("chunk set must be built over the retained collection")
+
+    # -- Table 1 quantities --------------------------------------------------
+
+    @property
+    def n_retained(self) -> int:
+        return len(self.retained)
+
+    @property
+    def n_outliers(self) -> int:
+        return int(self.outlier_rows.size)
+
+    @property
+    def outlier_fraction(self) -> float:
+        if len(self.original) == 0:
+            return 0.0
+        return self.n_outliers / len(self.original)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_set)
+
+    @property
+    def mean_chunk_size(self) -> float:
+        return self.chunk_set.average_size()
+
+    def validate(self) -> None:
+        """Check the full partition + bounding invariants."""
+        self.chunk_set.validate()
+        if not self.chunk_set.is_partition():
+            raise ValueError("chunks must partition the retained collection")
+        if np.unique(self.outlier_rows).size != self.outlier_rows.size:
+            raise ValueError("duplicate outlier rows")
+
+
+class Chunker(abc.ABC):
+    """A chunk-forming strategy."""
+
+    #: Short label used in experiment tables ("BAG", "SR", ...).
+    name: str = "chunker"
+
+    @abc.abstractmethod
+    def form_chunks(self, collection: DescriptorCollection) -> ChunkingResult:
+        """Group the collection into chunks."""
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,125 @@
+"""CF (Cluster Forming) chunker — the Clindex algorithm.
+
+Li, Chang, Garcia-Molina, Wiederhold: "Clustering for approximate
+similarity search in high-dimensional spaces", TKDE 2002 — the paper that
+originated the clustering-for-indexing paradigm this reproduction studies.
+The paper's related-work section explains why CF was *not* used in its
+comparison: CF's grid-based growth can produce clusters of completely
+arbitrary shape, and its implementation had a hidden maximum-cluster-size
+parameter that breaks natural clusters arbitrarily.  Implementing it makes
+that critique testable.
+
+Algorithm (following the TKDE description):
+
+1. quantize every dimension into two halves at the median, mapping each
+   descriptor to a cell of the resulting ``2^d`` grid (only occupied cells
+   are materialized);
+2. process occupied cells in decreasing population ("segments of the
+   multidimensional space are processed in the order of how many data
+   points are contained within that segment");
+3. each unassigned cell seeds a cluster that greedily absorbs unassigned
+   *adjacent* cells (cells whose signatures differ in exactly one
+   dimension), most-populated first, until the hidden size cap is hit;
+4. descriptors inherit their cell's cluster; cells never split, so a
+   cluster's shape is an arbitrary union of adjacent hypercube cells.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.chunk import Chunk, ChunkSet
+from ..core.dataset import DescriptorCollection
+from .base import Chunker, ChunkingResult
+
+__all__ = ["ClindexChunker"]
+
+
+class ClindexChunker(Chunker):
+    """Grid-based Cluster Forming.
+
+    Parameters
+    ----------
+    max_chunk_size:
+        The "hidden parameter": a growing cluster stops absorbing cells
+        once its population reaches this.
+    """
+
+    name = "CF"
+
+    def __init__(self, max_chunk_size: int):
+        if max_chunk_size < 1:
+            raise ValueError("max chunk size must be positive")
+        self.max_chunk_size = int(max_chunk_size)
+
+    def _cell_signatures(self, collection: DescriptorCollection) -> np.ndarray:
+        """Per-descriptor cell signature: one bit per dimension (above or
+        below the dimension median)."""
+        vectors = collection.vectors.astype(np.float64)
+        medians = np.median(vectors, axis=0)
+        return (vectors >= medians).astype(np.uint8)
+
+    def form_chunks(self, collection: DescriptorCollection) -> ChunkingResult:
+        n = len(collection)
+        if n == 0:
+            raise ValueError("cannot chunk an empty collection")
+        started = time.perf_counter()
+        signatures = self._cell_signatures(collection)
+
+        # Occupied cells and their member rows.
+        cells: Dict[Tuple[int, ...], List[int]] = {}
+        for row in range(n):
+            cells.setdefault(tuple(signatures[row]), []).append(row)
+
+        # Decreasing-population processing order.
+        order = sorted(cells, key=lambda c: (-len(cells[c]), c))
+        assigned: Dict[Tuple[int, ...], int] = {}
+        clusters: List[List[int]] = []
+
+        def neighbors(cell: Tuple[int, ...]):
+            for dim in range(len(cell)):
+                flipped = list(cell)
+                flipped[dim] ^= 1
+                yield tuple(flipped)
+
+        for seed_cell in order:
+            if seed_cell in assigned:
+                continue
+            cluster_id = len(clusters)
+            members: List[int] = []
+            # Greedy growth: most-populated adjacent unassigned cell next.
+            frontier = [(-len(cells[seed_cell]), seed_cell)]
+            while frontier and len(members) < self.max_chunk_size:
+                _, cell = heapq.heappop(frontier)
+                if cell in assigned:
+                    continue
+                assigned[cell] = cluster_id
+                members.extend(cells[cell])
+                for adjacent in neighbors(cell):
+                    if adjacent in cells and adjacent not in assigned:
+                        heapq.heappush(
+                            frontier, (-len(cells[adjacent]), adjacent)
+                        )
+            clusters.append(members)
+
+        chunks = [
+            Chunk.from_rows(collection, np.sort(np.asarray(members, dtype=np.intp)))
+            for members in clusters
+            if members
+        ]
+        elapsed = time.perf_counter() - started
+        return ChunkingResult(
+            original=collection,
+            retained=collection,
+            chunk_set=ChunkSet(collection, chunks),
+            outlier_rows=np.empty(0, dtype=np.intp),
+            build_info={
+                "build_seconds": elapsed,
+                "occupied_cells": float(len(cells)),
+                "max_chunk_size": float(self.max_chunk_size),
+            },
+        )

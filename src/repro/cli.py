@@ -1,0 +1,345 @@
+"""Command-line interface.
+
+Usage::
+
+    repro list-experiments
+    repro experiment table1 [--scale default|test]
+    repro experiment all [--scale test]
+    repro collection [--scale test]          # collection statistics
+    repro demo                               # tiny end-to-end search demo
+
+The experiment subcommand regenerates the paper artefacts (Tables 1-2,
+Figures 1-7) and the ablations, printing each as fixed-width text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from . import __version__
+from .experiments import (
+    ablations,
+    chunk_size_sweep,
+    fig1,
+    quality_figures,
+    table1,
+    table2,
+)
+from .experiments.config import get_scale
+from .experiments.data import ExperimentData, prepare
+
+__all__ = ["main", "EXPERIMENT_RUNNERS"]
+
+#: Experiment id -> driver producing a renderable result.
+EXPERIMENT_RUNNERS: Dict[str, Callable[[ExperimentData], object]] = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": quality_figures.run_fig2,
+    "fig3": quality_figures.run_fig3,
+    "fig4": quality_figures.run_fig4,
+    "fig5": quality_figures.run_fig5,
+    "table2": table2.run,
+    "fig6": chunk_size_sweep.run_fig6,
+    "fig7": chunk_size_sweep.run_fig7,
+    "ablation_overlap": ablations.run_overlap_ablation,
+    "ablation_ranking": ablations.run_ranking_ablation,
+    "ablation_stoprule": ablations.run_stop_rule_ablation,
+    "ablation_outliers": ablations.run_outlier_ablation,
+    "ablation_hybrid": ablations.run_hybrid_ablation,
+    "ablation_cache": ablations.run_cache_ablation,
+    "ablation_chunker_zoo": ablations.run_chunker_zoo,
+    "ablation_related_work": ablations.run_related_work_shootout,
+    "ablation_approx_rules": ablations.run_approx_rules_ablation,
+    "lessons_summary": ablations.run_lessons_summary,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Quality vs. Time Trade-off for "
+            "Approximate Image Descriptor Search' (ICDE Workshops 2005)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-experiments", help="list reproducible experiment ids")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure (or 'all')"
+    )
+    experiment.add_argument(
+        "experiment_id", choices=sorted(EXPERIMENT_RUNNERS) + ["all"]
+    )
+    experiment.add_argument(
+        "--scale", default="default", help="experiment scale (default|test)"
+    )
+    experiment.add_argument(
+        "--export-dir",
+        default=None,
+        help="also write each result to <dir>/<id>.<format>",
+    )
+    experiment.add_argument(
+        "--format", default="csv", choices=("csv", "json"),
+        help="export format when --export-dir is given",
+    )
+    experiment.add_argument(
+        "--plot", action="store_true",
+        help="also render figure results as ASCII charts",
+    )
+
+    collection = sub.add_parser(
+        "collection", help="print statistics of the synthetic collection"
+    )
+    collection.add_argument("--scale", default="default")
+
+    sub.add_parser("demo", help="run a tiny end-to-end search demonstration")
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic collection to a descriptor file"
+    )
+    generate.add_argument("output", help="collection file to write")
+    generate.add_argument("--scale", default="test")
+
+    build = sub.add_parser(
+        "build", help="build a persistent retrieval system from a collection file"
+    )
+    build.add_argument("collection", help="descriptor collection file")
+    build.add_argument("output", help="directory for the built system")
+    build.add_argument(
+        "--chunker", default="sr", choices=("sr", "bag", "hybrid", "tsvq"),
+    )
+    build.add_argument(
+        "--chunk-size", type=int, default=0,
+        help="target descriptors per chunk (0 = auto)",
+    )
+
+    query = sub.add_parser(
+        "query", help="run one descriptor query against a built system"
+    )
+    query.add_argument("system", help="directory of a built system")
+    query.add_argument("collection", help="collection file to take the query from")
+    query.add_argument("--row", type=int, default=0, help="query descriptor row")
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument(
+        "--chunks", type=int, default=0,
+        help="approximation budget in chunks (0 = exact)",
+    )
+
+    image_query = sub.add_parser(
+        "image-query", help="rank images against one query image"
+    )
+    image_query.add_argument("system")
+    image_query.add_argument("collection")
+    image_query.add_argument("--image", type=int, required=True)
+    image_query.add_argument("--top", type=int, default=5)
+    return parser
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for experiment_id in sorted(EXPERIMENT_RUNNERS):
+        print(experiment_id)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    data = prepare(scale)
+    ids = (
+        sorted(EXPERIMENT_RUNNERS)
+        if args.experiment_id == "all"
+        else [args.experiment_id]
+    )
+    #: Paper axes: Figure 1 is log-y; Figures 6-7 are log-x.
+    log_axes = {"fig1": (False, True), "fig6": (True, False), "fig7": (True, False)}
+    for experiment_id in ids:
+        result = EXPERIMENT_RUNNERS[experiment_id](data)
+        print(result.render())
+        print()
+        if getattr(args, "plot", False) and hasattr(result, "series"):
+            from .experiments.ascii_plot import plot_figure
+
+            log_x, log_y = log_axes.get(experiment_id, (False, False))
+            print(plot_figure(result, log_x=log_x, log_y=log_y))
+            print()
+        if args.export_dir:
+            import os
+
+            from .experiments.export import write_result
+
+            os.makedirs(args.export_dir, exist_ok=True)
+            write_result(
+                result,
+                os.path.join(args.export_dir, f"{experiment_id}.{args.format}"),
+                fmt=args.format,
+            )
+    return 0
+
+
+def _cmd_collection(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    from .workloads.synthetic import generate_collection
+
+    collection = generate_collection(scale.synthetic)
+    print(f"scale:           {scale.name}")
+    print(f"descriptors:     {len(collection)}")
+    print(f"dimensions:      {collection.dimensions}")
+    print(f"images:          {len(set(collection.image_ids.tolist()))}")
+    print(f"storage (bytes): {collection.storage_bytes}")
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .chunking.srtree_chunker import SRTreeChunker
+    from .core.chunk_index import build_chunk_index
+    from .core.ground_truth import exact_knn
+    from .core.search import ChunkSearcher
+    from .core.stop_rules import MaxChunks
+    from .workloads.synthetic import SyntheticImageConfig, generate_collection
+
+    collection = generate_collection(SyntheticImageConfig(n_images=60, seed=7))
+    chunking = SRTreeChunker(leaf_capacity=64).form_chunks(collection)
+    index = build_chunk_index(chunking.retained, chunking.chunk_set, name="demo")
+    searcher = ChunkSearcher(index)
+    query = collection.vectors[0].astype(np.float64)
+
+    exact = searcher.search(query, k=10)
+    approx = searcher.search(query, k=10, stop_rule=MaxChunks(3))
+    truth = set(exact_knn(collection, query, 10).tolist())
+    hits = sum(1 for i in approx.neighbor_ids() if int(i) in truth)
+    print(f"collection: {len(collection)} descriptors in {index.n_chunks} chunks")
+    print(
+        f"exact search:  {exact.chunks_read} chunks, "
+        f"{exact.elapsed_s * 1000:.1f} ms simulated"
+    )
+    print(
+        f"approx search: {approx.chunks_read} chunks, "
+        f"{approx.elapsed_s * 1000:.1f} ms simulated, "
+        f"precision@10 = {hits / 10:.2f}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .storage.collection_file import write_collection_file
+    from .workloads.synthetic import generate_collection
+
+    scale = get_scale(args.scale)
+    collection = generate_collection(scale.synthetic)
+    write_collection_file(args.output, collection)
+    print(
+        f"wrote {len(collection)} descriptors "
+        f"({collection.dimensions}-d) to {args.output}"
+    )
+    return 0
+
+
+def _make_chunker(name: str, chunk_size: int, collection):
+    from .chunking.bag import BagClusterer, estimate_mpi
+    from .chunking.hybrid import HybridChunker
+    from .chunking.srtree_chunker import SRTreeChunker
+    from .chunking.tsvq import TsvqChunker
+
+    if chunk_size <= 0:
+        chunk_size = int(min(4096, max(16, 2 * len(collection) ** 0.5)))
+    if name == "sr":
+        return SRTreeChunker(leaf_capacity=chunk_size)
+    if name == "hybrid":
+        return HybridChunker(target_chunk_size=chunk_size)
+    if name == "tsvq":
+        return TsvqChunker(max_chunk_size=chunk_size)
+    mpi = estimate_mpi(collection)
+    return BagClusterer(
+        mpi=mpi,
+        target_clusters=max(1, len(collection) // chunk_size),
+        max_passes=400,
+    )
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .storage.collection_file import read_collection_file
+    from .system import ImageRetrievalSystem
+
+    collection = read_collection_file(args.collection)
+    chunker = _make_chunker(args.chunker, args.chunk_size, collection)
+    system = ImageRetrievalSystem(chunker=chunker)
+    system.index_images(collection)
+    system.save(args.output)
+    print(
+        f"built {args.chunker} system over {system.n_descriptors} descriptors "
+        f"from {system.n_images} images -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .storage.collection_file import read_collection_file
+    from .system import ImageRetrievalSystem
+
+    system = ImageRetrievalSystem.load(args.system)
+    collection = read_collection_file(args.collection)
+    if not 0 <= args.row < len(collection):
+        raise SystemExit(f"row {args.row} out of range (collection has {len(collection)})")
+    query = collection.vectors[args.row].astype(float)
+    if args.chunks > 0:
+        system.default_stop_chunks = args.chunks
+        result = system.find_similar_descriptors(query, k=args.k)
+    else:
+        result = system.find_similar_descriptors(query, k=args.k, exact=True)
+    print(
+        f"query row {args.row}: {result.chunks_read} chunks, "
+        f"{result.elapsed_s * 1000:.1f} ms simulated, exact={result.completed}"
+    )
+    for neighbor in result.neighbors:
+        print(f"  id={neighbor.descriptor_id:8d}  distance={neighbor.distance:.6f}")
+    return 0
+
+
+def _cmd_image_query(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .storage.collection_file import read_collection_file
+    from .system import ImageRetrievalSystem
+
+    system = ImageRetrievalSystem.load(args.system)
+    collection = read_collection_file(args.collection)
+    rows = np.flatnonzero(collection.image_ids == args.image)
+    if rows.size == 0:
+        raise SystemExit(f"image {args.image} has no descriptors in {args.collection}")
+    matches = system.find_similar_images(
+        collection.vectors[rows].astype(float), top_images=args.top
+    )
+    print(f"query image {args.image} ({rows.size} descriptors):")
+    for match in matches:
+        print(
+            f"  image {match.image_id:6d}  votes={match.votes:4d}  "
+            f"matched query descriptors={match.matched_query_descriptors}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "list-experiments": _cmd_list,
+    "experiment": _cmd_experiment,
+    "collection": _cmd_collection,
+    "demo": _cmd_demo,
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "image-query": _cmd_image_query,
+}
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Chunk model.
+
+A *chunk* is the unit of the paper's index architecture (section 4.2): a
+group of descriptors stored contiguously on disk, padded to full disk
+pages, and summarized in the index file by its centroid, its minimum
+bounding radius, and its location in the chunk file.
+
+Two layers are distinguished here:
+
+* :class:`Chunk` — the logical chunk as produced by a chunk-forming
+  strategy: the member rows of the source collection plus the derived
+  centroid/radius summary.
+* :class:`ChunkMeta` — the physical index entry: centroid, radius,
+  descriptor count, and page extent in the chunk file.  This is what the
+  search algorithm ranks and what :mod:`repro.storage.index_file`
+  serializes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from .dataset import DescriptorCollection
+from .distance import squared_distances
+
+__all__ = ["Chunk", "ChunkMeta", "ChunkSet", "summarize_members"]
+
+
+def summarize_members(vectors: np.ndarray) -> "tuple[np.ndarray, float]":
+    """Centroid and minimum bounding radius of a member matrix.
+
+    The radius is the maximum Euclidean distance from the centroid to any
+    member — the "minimum bounding radius" the paper stores per chunk so the
+    search can lower-bound the distance to a chunk's contents.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise ValueError("a chunk must contain at least one descriptor")
+    centroid = vectors.mean(axis=0)
+    radius = float(np.sqrt(squared_distances(centroid, vectors).max()))
+    return centroid, radius
+
+
+@dataclasses.dataclass
+class Chunk:
+    """A logical chunk: member rows of a collection plus its summary.
+
+    Attributes
+    ----------
+    member_rows:
+        Row positions into the source :class:`DescriptorCollection`.
+    centroid:
+        Mean of the member vectors (float64).
+    radius:
+        Minimum bounding radius around ``centroid``.
+    """
+
+    member_rows: np.ndarray
+    centroid: np.ndarray
+    radius: float
+
+    @classmethod
+    def from_rows(
+        cls, collection: DescriptorCollection, member_rows: Sequence[int]
+    ) -> "Chunk":
+        """Build a chunk from row positions, deriving centroid and radius."""
+        rows = np.asarray(member_rows, dtype=np.intp)
+        if rows.size == 0:
+            raise ValueError("a chunk must contain at least one descriptor")
+        centroid, radius = summarize_members(collection.vectors[rows])
+        return cls(member_rows=rows, centroid=centroid, radius=radius)
+
+    def __len__(self) -> int:
+        return int(self.member_rows.size)
+
+    def member_ids(self, collection: DescriptorCollection) -> np.ndarray:
+        """Descriptor ids of this chunk's members."""
+        return collection.ids[self.member_rows]
+
+    def contains_all_members(self, collection: DescriptorCollection) -> bool:
+        """Invariant check: every member lies within ``radius`` of ``centroid``.
+
+        A small epsilon absorbs float32->float64 rounding on the member
+        vectors.
+        """
+        vectors = collection.vectors[self.member_rows]
+        d2 = squared_distances(self.centroid, vectors)
+        return bool(np.all(np.sqrt(d2) <= self.radius * (1 + 1e-9) + 1e-9))
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkMeta:
+    """Index-file entry for one chunk (paper section 4.2).
+
+    ``page_offset``/``page_count`` locate the chunk in the chunk file; they
+    are filled in by the chunk-file writer.  ``chunk_id`` is the position of
+    the entry, which by construction equals the position of the chunk in
+    the chunk file ("the order of the entries in the index is identical to
+    the order of the chunks in the chunk file").
+    """
+
+    chunk_id: int
+    centroid: np.ndarray
+    radius: float
+    n_descriptors: int
+    page_offset: int
+    page_count: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "centroid", np.ascontiguousarray(self.centroid, dtype=np.float64)
+        )
+        if self.n_descriptors <= 0:
+            raise ValueError("a chunk holds at least one descriptor")
+        if self.radius < 0:
+            raise ValueError("radius cannot be negative")
+        if self.page_offset < 0 or self.page_count <= 0:
+            raise ValueError("invalid page extent")
+
+    def min_distance(self, query: np.ndarray) -> float:
+        """Lower bound on the distance from ``query`` to any member.
+
+        ``max(0, d(query, centroid) - radius)`` — this is "the rationale for
+        storing the radii of chunks together with their centroids"
+        (section 4.3): it proves when no unread chunk can improve the
+        current k-th neighbor.
+        """
+        d = float(np.sqrt(squared_distances(query, self.centroid)[0]))
+        return max(0.0, d - self.radius)
+
+    def centroid_distance(self, query: np.ndarray) -> float:
+        """Distance from ``query`` to the chunk centroid (the ranking key)."""
+        return float(np.sqrt(squared_distances(query, self.centroid)[0]))
+
+
+class ChunkSet:
+    """An ordered list of logical chunks over one collection.
+
+    This is the output contract of every chunk-forming strategy in
+    :mod:`repro.chunking`: a partition (or sub-partition, when outliers were
+    discarded) of the collection's rows.
+    """
+
+    def __init__(self, collection: DescriptorCollection, chunks: Sequence[Chunk]):
+        self.collection = collection
+        self.chunks: List[Chunk] = list(chunks)
+        if not self.chunks:
+            raise ValueError("a chunk set must contain at least one chunk")
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def __iter__(self):
+        return iter(self.chunks)
+
+    def __getitem__(self, index: int) -> Chunk:
+        return self.chunks[index]
+
+    # -- statistics (these feed Table 1 and Figure 1) ----------------------
+
+    def sizes(self) -> np.ndarray:
+        """Descriptor count of every chunk."""
+        return np.asarray([len(c) for c in self.chunks], dtype=np.int64)
+
+    def total_descriptors(self) -> int:
+        return int(self.sizes().sum())
+
+    def average_size(self) -> float:
+        """Average descriptors per chunk (Table 1's "Descriptors per Chunk")."""
+        return float(self.sizes().mean())
+
+    def largest_sizes(self, n: int = 30) -> np.ndarray:
+        """Sizes of the ``n`` largest chunks, descending (Figure 1)."""
+        sizes = np.sort(self.sizes())[::-1]
+        return sizes[:n]
+
+    def radii(self) -> np.ndarray:
+        return np.asarray([c.radius for c in self.chunks], dtype=np.float64)
+
+    # -- invariants ---------------------------------------------------------
+
+    def is_partition(self) -> bool:
+        """True if every collection row appears in exactly one chunk."""
+        seen = np.concatenate([c.member_rows for c in self.chunks])
+        if seen.size != len(self.collection):
+            return False
+        return bool(np.array_equal(np.sort(seen), np.arange(len(self.collection))))
+
+    def covered_rows(self) -> np.ndarray:
+        """Sorted unique rows covered by any chunk."""
+        return np.unique(np.concatenate([c.member_rows for c in self.chunks]))
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any violated chunk invariant."""
+        all_rows = np.concatenate([c.member_rows for c in self.chunks])
+        if np.unique(all_rows).size != all_rows.size:
+            raise ValueError("a descriptor row appears in more than one chunk")
+        if all_rows.size and (all_rows.min() < 0 or all_rows.max() >= len(self.collection)):
+            raise ValueError("chunk member rows out of collection bounds")
+        for i, chunk in enumerate(self.chunks):
+            if not chunk.contains_all_members(self.collection):
+                raise ValueError(f"chunk {i}: member outside bounding radius")

@@ -1,0 +1,141 @@
+"""Exact nearest-neighbor ground truth via sequential scan.
+
+Paper section 5.4: "To measure precision, we first ran a sequential scan of
+the collection, and stored the identifiers of the returned descriptors in a
+file.  We then read this file for each measurement and used the descriptor
+list to calculate the precision of the intermediate result."
+
+:func:`exact_knn` is the sequential scan; :class:`GroundTruthStore` is the
+stored-identifiers file (an ``.npz`` of per-query id lists) so expensive
+scans run once per workload.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .dataset import DescriptorCollection
+from .distance import DEFAULT_BLOCK_ROWS, squared_distances, top_k_smallest
+
+__all__ = ["exact_knn", "exact_knn_batch", "GroundTruthStore"]
+
+
+def exact_knn(
+    collection: DescriptorCollection,
+    query: np.ndarray,
+    k: int,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> np.ndarray:
+    """Ids of the exact ``k`` nearest descriptors, best first.
+
+    Scans the collection blockwise; exact, deterministic (ties broken by
+    ascending id as in :func:`~repro.core.distance.top_k_smallest`).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    n = len(collection)
+    if n == 0:
+        raise ValueError("cannot search an empty collection")
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+
+    best_d = np.empty(0, dtype=np.float64)
+    best_ids = np.empty(0, dtype=np.int64)
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        d = squared_distances(query, collection.vectors[start:stop])
+        ids = collection.ids[start:stop]
+        merged_d = np.concatenate([best_d, d])
+        merged_ids = np.concatenate([best_ids, ids])
+        keep = top_k_smallest(merged_d, min(k, merged_d.shape[0]))
+        # top_k_smallest ties break on array position; enforce id order by
+        # re-sorting the kept slice on (distance, id).
+        keep = keep[np.lexsort((merged_ids[keep], merged_d[keep]))]
+        best_d = merged_d[keep]
+        best_ids = merged_ids[keep]
+    return best_ids
+
+
+def exact_knn_batch(
+    collection: DescriptorCollection,
+    queries: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Exact k-NN ids for a batch of queries; shape ``(n_queries, k)``.
+
+    Requires ``k <= len(collection)``.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries[np.newaxis, :]
+    if k > len(collection):
+        raise ValueError(f"k={k} exceeds collection size {len(collection)}")
+    out = np.empty((queries.shape[0], k), dtype=np.int64)
+    for i, query in enumerate(queries):
+        out[i] = exact_knn(collection, query, k)
+    return out
+
+
+class GroundTruthStore:
+    """Per-query true-neighbor id lists, persistable to one ``.npz`` file."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self._lists: Dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def put(self, query_index: int, neighbor_ids: Sequence[int]) -> None:
+        ids = np.asarray(neighbor_ids, dtype=np.int64)
+        if ids.shape != (self.k,):
+            raise ValueError(f"expected exactly {self.k} ids, got shape {ids.shape}")
+        self._lists[int(query_index)] = ids
+
+    def get(self, query_index: int) -> np.ndarray:
+        try:
+            return self._lists[int(query_index)]
+        except KeyError:
+            raise KeyError(f"no ground truth stored for query {query_index}") from None
+
+    def __contains__(self, query_index: int) -> bool:
+        return int(query_index) in self._lists
+
+    @classmethod
+    def compute(
+        cls,
+        collection: DescriptorCollection,
+        queries: np.ndarray,
+        k: int,
+    ) -> "GroundTruthStore":
+        """Run the sequential scan for every query and store the ids."""
+        store = cls(k)
+        ids = exact_knn_batch(collection, queries, k)
+        for i in range(ids.shape[0]):
+            store.put(i, ids[i])
+        return store
+
+    # -- persistence ("stored the identifiers ... in a file") ---------------
+
+    def save(self, path: str) -> None:
+        indices = np.asarray(sorted(self._lists), dtype=np.int64)
+        matrix = np.stack([self._lists[int(i)] for i in indices]) if len(indices) else (
+            np.empty((0, self.k), dtype=np.int64)
+        )
+        np.savez(path, k=np.int64(self.k), indices=indices, ids=matrix)
+
+    @classmethod
+    def load(cls, path: str) -> "GroundTruthStore":
+        if not os.path.exists(path) and os.path.exists(path + ".npz"):
+            path = path + ".npz"
+        with np.load(path) as data:
+            store = cls(int(data["k"]))
+            indices = data["indices"]
+            matrix = data["ids"]
+            for row, query_index in enumerate(indices):
+                store.put(int(query_index), matrix[row])
+        return store

@@ -1,0 +1,342 @@
+"""Incremental chunk-index maintenance.
+
+The paper builds its chunk indexes offline and notes (section 7) a
+220-million-descriptor collection on the horizon — at which point full
+rebuilds stop being an option.  This module maintains a chunk index under
+inserts and deletes while preserving the invariants the search relies on:
+
+* every chunk's stored centroid is the exact mean and its radius the exact
+  minimum bounding radius of its current members (the completion proof is
+  unsound otherwise);
+* chunk payloads stay within their allocated page extents when possible —
+  a chunk whose new payload still fits its pages is updated in place, one
+  that outgrows them is *relocated* to fresh pages at the end of the file
+  (the classic slotted-file strategy), leaving a hole;
+* chunks that grow beyond ``split_factor`` times the target size are split
+  by a 2-means pass, and chunks that shrink below ``merge_fraction`` of it
+  are merged into the chunk with the nearest centroid.
+
+The maintainer tracks fragmentation (dead pages left by relocations) so
+callers can decide when a compaction/rebuild pays off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.pages import PageGeometry
+from ..storage.records import RecordCodec
+from .chunk import ChunkMeta, summarize_members
+from .chunk_index import ChunkIndex, InMemoryChunkStore
+from .distance import squared_distances
+
+__all__ = ["ChunkIndexMaintainer", "MaintenanceStats"]
+
+
+@dataclasses.dataclass
+class MaintenanceStats:
+    """Counters describing maintenance activity since construction."""
+
+    inserts: int = 0
+    deletes: int = 0
+    splits: int = 0
+    merges: int = 0
+    relocations: int = 0
+    dead_pages: int = 0
+
+
+class _MutableChunk:
+    """Mutable chunk state: parallel id/vector arrays plus page extent."""
+
+    __slots__ = ("ids", "vectors", "page_offset", "page_count")
+
+    def __init__(self, ids, vectors, page_offset, page_count):
+        self.ids: List[int] = list(int(i) for i in ids)
+        self.vectors: List[np.ndarray] = [
+            np.asarray(v, dtype=np.float32) for v in vectors
+        ]
+        self.page_offset = int(page_offset)
+        self.page_count = int(page_count)
+
+    def matrix(self) -> np.ndarray:
+        return np.vstack([v[np.newaxis, :] for v in self.vectors])
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class ChunkIndexMaintainer:
+    """Maintains a chunk index under inserts and deletes.
+
+    Parameters
+    ----------
+    index:
+        The starting index; its contents are copied, the original is not
+        mutated.
+    target_chunk_size:
+        Size around which split/merge thresholds are set; defaults to the
+        index's current mean chunk size.
+    split_factor:
+        A chunk splits once it exceeds ``split_factor * target``.
+    merge_fraction:
+        A chunk merges away once it falls below ``merge_fraction * target``
+        (and more than one chunk remains).
+    """
+
+    def __init__(
+        self,
+        index: ChunkIndex,
+        target_chunk_size: Optional[int] = None,
+        split_factor: float = 2.0,
+        merge_fraction: float = 0.2,
+        geometry: Optional[PageGeometry] = None,
+    ):
+        if split_factor <= 1.0:
+            raise ValueError("split_factor must exceed 1")
+        if not 0.0 <= merge_fraction < 1.0:
+            raise ValueError("merge_fraction must be in [0, 1)")
+        self.dimensions = index.dimensions
+        self.geometry = geometry or PageGeometry()
+        self._codec = RecordCodec(self.dimensions)
+        counts = index.descriptor_counts()
+        self.target_chunk_size = int(
+            target_chunk_size
+            if target_chunk_size is not None
+            else max(1, round(float(counts.mean())))
+        )
+        if self.target_chunk_size < 1:
+            raise ValueError("target chunk size must be positive")
+        self.split_factor = float(split_factor)
+        self.merge_fraction = float(merge_fraction)
+        self.stats = MaintenanceStats()
+
+        self._chunks: List[_MutableChunk] = []
+        self._next_page = 0
+        for chunk_id in range(index.n_chunks):
+            ids, vectors = index.read_chunk(chunk_id)
+            meta = index.metas[chunk_id]
+            self._chunks.append(
+                _MutableChunk(ids, vectors, meta.page_offset, meta.page_count)
+            )
+            self._next_page = max(self._next_page, meta.page_offset + meta.page_count)
+        self._chunk_of_id: Dict[int, int] = {}
+        for position, chunk in enumerate(self._chunks):
+            for descriptor_id in chunk.ids:
+                if descriptor_id in self._chunk_of_id:
+                    raise ValueError(f"duplicate descriptor id {descriptor_id}")
+                self._chunk_of_id[descriptor_id] = position
+        # Cached summaries, recomputed lazily per dirty chunk.
+        self._centroids = np.stack(
+            [summarize_members(c.matrix())[0] for c in self._chunks]
+        )
+
+    # -- bookkeeping helpers ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._chunk_of_id)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    def _pages_needed(self, n_descriptors: int) -> int:
+        return self.geometry.pages_for(n_descriptors * self._codec.record_bytes)
+
+    def _reextent(self, position: int) -> None:
+        """Keep the chunk in place if it fits; otherwise relocate it to
+        fresh pages at the end of the file."""
+        chunk = self._chunks[position]
+        needed = self._pages_needed(len(chunk))
+        if needed <= chunk.page_count:
+            return
+        self.stats.relocations += 1
+        self.stats.dead_pages += chunk.page_count
+        chunk.page_offset = self._next_page
+        chunk.page_count = needed
+        self._next_page += needed
+
+    def _refresh_centroid(self, position: int) -> None:
+        self._centroids[position] = self._chunks[position].matrix().astype(
+            np.float64
+        ).mean(axis=0)
+
+    # -- operations ----------------------------------------------------------------
+
+    def insert(self, descriptor_id: int, vector: np.ndarray) -> int:
+        """Insert one descriptor into the chunk with the nearest centroid;
+        returns the chunk position it landed in (pre-split)."""
+        descriptor_id = int(descriptor_id)
+        if descriptor_id in self._chunk_of_id:
+            raise ValueError(f"descriptor id {descriptor_id} already present")
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        if vector.shape[0] != self.dimensions:
+            raise ValueError("vector dimensionality mismatch")
+
+        d2 = squared_distances(vector.astype(np.float64), self._centroids)
+        position = int(np.argmin(d2))
+        chunk = self._chunks[position]
+        chunk.ids.append(descriptor_id)
+        chunk.vectors.append(vector)
+        self._chunk_of_id[descriptor_id] = position
+        self._refresh_centroid(position)
+        self._reextent(position)
+        self.stats.inserts += 1
+
+        if len(chunk) > self.split_factor * self.target_chunk_size:
+            self._split(position)
+        return position
+
+    def delete(self, descriptor_id: int) -> None:
+        """Remove one descriptor; small survivors merge into a neighbor."""
+        descriptor_id = int(descriptor_id)
+        position = self._chunk_of_id.pop(descriptor_id, None)
+        if position is None:
+            raise KeyError(f"descriptor id {descriptor_id} not in index")
+        chunk = self._chunks[position]
+        row = chunk.ids.index(descriptor_id)
+        chunk.ids.pop(row)
+        chunk.vectors.pop(row)
+        self.stats.deletes += 1
+
+        if len(chunk) == 0:
+            self._drop_chunk(position)
+            return
+        self._refresh_centroid(position)
+        if (
+            len(chunk) < self.merge_fraction * self.target_chunk_size
+            and self.n_chunks > 1
+        ):
+            self._merge_away(position)
+
+    def _split(self, position: int) -> None:
+        """2-means split of an oversized chunk; the halves reuse the old
+        extent if they fit, else relocate."""
+        chunk = self._chunks[position]
+        matrix = chunk.matrix().astype(np.float64)
+        # Seed with the two most distant members of a sample.
+        n = matrix.shape[0]
+        centers = matrix[[0, int(np.argmax(squared_distances(matrix[0], matrix)))]]
+        assignment = np.zeros(n, dtype=np.intp)
+        for _ in range(6):
+            d0 = squared_distances(centers[0], matrix)
+            d1 = squared_distances(centers[1], matrix)
+            new_assignment = (d1 < d0).astype(np.intp)
+            if np.array_equal(new_assignment, assignment):
+                break
+            assignment = new_assignment
+            for c in (0, 1):
+                members = matrix[assignment == c]
+                if members.shape[0]:
+                    centers[c] = members.mean(axis=0)
+        if assignment.all() or not assignment.any():
+            half = n // 2
+            assignment = np.asarray([0] * half + [1] * (n - half))
+
+        keep_rows = np.flatnonzero(assignment == 0)
+        move_rows = np.flatnonzero(assignment == 1)
+        moved = _MutableChunk(
+            [chunk.ids[i] for i in move_rows],
+            [chunk.vectors[i] for i in move_rows],
+            page_offset=self._next_page,
+            page_count=self._pages_needed(move_rows.size),
+        )
+        self._next_page += moved.page_count
+        chunk.ids = [chunk.ids[i] for i in keep_rows]
+        chunk.vectors = [chunk.vectors[i] for i in keep_rows]
+
+        new_position = len(self._chunks)
+        self._chunks.append(moved)
+        for descriptor_id in moved.ids:
+            self._chunk_of_id[descriptor_id] = new_position
+        self._centroids = np.vstack(
+            [self._centroids, moved.matrix().astype(np.float64).mean(axis=0)]
+        )
+        self._refresh_centroid(position)
+        self._reextent(position)
+        self.stats.splits += 1
+
+    def _drop_chunk(self, position: int) -> None:
+        self.stats.dead_pages += self._chunks[position].page_count
+        self._chunks.pop(position)
+        self._centroids = np.delete(self._centroids, position, axis=0)
+        for descriptor_id, chunk_position in self._chunk_of_id.items():
+            if chunk_position > position:
+                self._chunk_of_id[descriptor_id] = chunk_position - 1
+
+    def _merge_away(self, position: int) -> None:
+        """Fold an undersized chunk into the nearest other chunk."""
+        chunk = self._chunks[position]
+        d2 = squared_distances(self._centroids[position], self._centroids)
+        d2[position] = np.inf
+        other = int(np.argmin(d2))
+        target = self._chunks[other]
+        target.ids.extend(chunk.ids)
+        target.vectors.extend(chunk.vectors)
+        for descriptor_id in chunk.ids:
+            self._chunk_of_id[descriptor_id] = other
+        self._refresh_centroid(other)
+        self._reextent(other)
+        self.stats.merges += 1
+        # Drop AFTER rewiring so position shifts are applied consistently.
+        chunk.ids = []
+        chunk.vectors = []
+        self._drop_chunk(position)
+
+    # -- export -----------------------------------------------------------------------
+
+    @property
+    def fragmentation(self) -> float:
+        """Dead pages as a fraction of the file's page span."""
+        if self._next_page == 0:
+            return 0.0
+        return self.stats.dead_pages / self._next_page
+
+    def compact(self) -> int:
+        """Rewrite all chunk extents sequentially, reclaiming dead pages.
+
+        The on-disk equivalent is a single sequential rewrite of the chunk
+        file (cheap relative to the random I/O the holes would cost).
+        Returns the number of pages reclaimed.
+        """
+        before = self._next_page
+        next_page = 0
+        for chunk in self._chunks:
+            chunk.page_offset = next_page
+            chunk.page_count = self._pages_needed(len(chunk))
+            next_page += chunk.page_count
+        self._next_page = next_page
+        self.stats.dead_pages = 0
+        return before - next_page
+
+    def to_index(self, name: str = "maintained") -> ChunkIndex:
+        """Materialize the current state as a searchable :class:`ChunkIndex`.
+
+        Note: :class:`~repro.core.search.ChunkSearcher` caches index
+        summaries at construction, so build a fresh searcher after each
+        maintenance batch.
+        """
+        metas: List[ChunkMeta] = []
+        contents: List[Tuple[np.ndarray, np.ndarray]] = []
+        for chunk_id, chunk in enumerate(self._chunks):
+            matrix = chunk.matrix()
+            centroid, radius = summarize_members(matrix)
+            metas.append(
+                ChunkMeta(
+                    chunk_id=chunk_id,
+                    centroid=centroid,
+                    radius=radius,
+                    n_descriptors=len(chunk),
+                    page_offset=chunk.page_offset,
+                    page_count=chunk.page_count,
+                )
+            )
+            contents.append((np.asarray(chunk.ids, dtype=np.int64), matrix))
+        return ChunkIndex(
+            metas=metas,
+            store=InMemoryChunkStore(contents),
+            dimensions=self.dimensions,
+            name=name,
+        )

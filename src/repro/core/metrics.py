@@ -1,0 +1,133 @@
+"""Quality and cost metrics.
+
+The paper's primary quality metric is "the precision within the top 30
+images (when the number of returned images is fixed, recall and precision
+are the same metric)" (section 5.4), logged after every processed chunk.
+Figures 2-5 invert that log: for each target number of true neighbors
+``N``, how many chunks (or seconds) did it take, on average over the
+workload, until ``N`` of the eventual true neighbors were present?
+
+This module computes those per-query numbers from
+:class:`~repro.core.trace.SearchTrace` objects and aggregates them across a
+workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .trace import SearchTrace
+
+__all__ = [
+    "precision_at_k",
+    "QualityCurves",
+    "curves_from_traces",
+    "completion_stats",
+    "CompletionStats",
+]
+
+
+def precision_at_k(result_ids: Sequence[int], true_ids: Sequence[int]) -> float:
+    """Fraction of the true top-k present in the result list.
+
+    With a fixed result size this equals recall, as the paper notes.
+    """
+    truth = set(int(i) for i in true_ids)
+    if not truth:
+        raise ValueError("ground truth must not be empty")
+    hits = sum(1 for i in result_ids if int(i) in truth)
+    return hits / len(truth)
+
+
+@dataclasses.dataclass
+class QualityCurves:
+    """Averaged quality-vs-cost curves for one (index, workload) pair.
+
+    ``neighbors_axis[j] = j`` true neighbors; ``chunks_read[j]`` and
+    ``elapsed_s[j]`` are the workload averages of the chunks / seconds
+    needed until ``j`` true neighbors were present.  Index 0 is the cost of
+    the query-start work (0 chunks; the index read + ranking time).
+
+    These arrays are exactly the series plotted in figures 2-5.
+    """
+
+    neighbors_axis: np.ndarray
+    chunks_read: np.ndarray
+    elapsed_s: np.ndarray
+    n_queries: int
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Row dicts, one per N, for table rendering."""
+        return [
+            {
+                "neighbors": int(self.neighbors_axis[j]),
+                "chunks_read": float(self.chunks_read[j]),
+                "elapsed_s": float(self.elapsed_s[j]),
+            }
+            for j in range(self.neighbors_axis.shape[0])
+        ]
+
+
+def curves_from_traces(traces: Sequence[SearchTrace], k: int) -> QualityCurves:
+    """Aggregate per-query traces into averaged figure-2/4 style curves.
+
+    Every trace must come from a run-to-completion query (the paper always
+    runs queries to conclusion so intermediate quality is measurable) with
+    ground truth supplied, so ``chunks_to_find``/``time_to_find`` are
+    finite for every ``N <= k``.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    axis = np.arange(k + 1)
+    chunk_sums = np.zeros(k + 1, dtype=np.float64)
+    time_sums = np.zeros(k + 1, dtype=np.float64)
+    for trace in traces:
+        for n in axis:
+            chunks = trace.chunks_to_find(int(n))
+            seconds = trace.time_to_find(int(n))
+            if math.isinf(chunks) or math.isinf(seconds):
+                raise ValueError(
+                    f"trace never found {n} true neighbors; quality curves "
+                    "require run-to-completion traces"
+                )
+            chunk_sums[n] += chunks
+            time_sums[n] += seconds
+    n_queries = len(traces)
+    return QualityCurves(
+        neighbors_axis=axis,
+        chunks_read=chunk_sums / n_queries,
+        elapsed_s=time_sums / n_queries,
+        n_queries=n_queries,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletionStats:
+    """Run-to-completion cost summary for one (index, workload) pair.
+
+    ``mean_elapsed_s`` is the Table 2 entry ("time to completion").
+    """
+
+    mean_elapsed_s: float
+    mean_chunks_read: float
+    mean_descriptors_scanned: float
+    n_queries: int
+
+
+def completion_stats(traces: Sequence[SearchTrace]) -> CompletionStats:
+    """Averages over completed query traces (Table 2)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    elapsed = np.asarray([t.final_elapsed_s for t in traces])
+    chunks = np.asarray([t.chunks_read for t in traces])
+    scanned = np.asarray([t.descriptors_scanned for t in traces])
+    return CompletionStats(
+        mean_elapsed_s=float(elapsed.mean()),
+        mean_chunks_read=float(chunks.mean()),
+        mean_descriptors_scanned=float(scanned.mean()),
+        n_queries=len(traces),
+    )

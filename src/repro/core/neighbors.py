@@ -1,0 +1,167 @@
+"""Bounded nearest-neighbor result set.
+
+The search algorithm of the paper (section 4.3) keeps "the current set of
+neighbors" while scanning chunks and needs two operations on it:
+
+* bulk update with all descriptors of a freshly processed chunk, and
+* the distance to the current k-th neighbor, which drives the exact
+  completion test (stop when the minimum distance to the next chunk exceeds
+  the distance to the k-th neighbor).
+
+:class:`NeighborSet` implements this as a bounded max-heap keyed on
+distance, with deterministic tie-breaking on descriptor id so that
+intermediate-result precision measurements are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Neighbor", "NeighborSet"]
+
+
+class Neighbor(Tuple[float, int]):
+    """A ``(distance, descriptor_id)`` pair, ordered by distance then id."""
+
+    __slots__ = ()
+
+    def __new__(cls, distance: float, descriptor_id: int) -> "Neighbor":
+        return tuple.__new__(cls, (float(distance), int(descriptor_id)))
+
+    @property
+    def distance(self) -> float:
+        return self[0]
+
+    @property
+    def descriptor_id(self) -> int:
+        return self[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Neighbor(distance={self[0]:.6g}, id={self[1]})"
+
+
+class NeighborSet:
+    """The k best neighbors seen so far.
+
+    Maintains a max-heap of at most ``k`` entries so that the worst current
+    neighbor can be evicted in O(log k) when a better candidate arrives.
+    Candidates that tie the current worst on distance are admitted only if
+    their id is smaller, matching the deterministic ordering used by
+    :func:`repro.core.distance.top_k_smallest` for ground truth.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        # Heap entries are (-distance, -id): Python's min-heap then pops the
+        # largest distance first, with larger ids evicted before smaller
+        # ones on distance ties.
+        self._heap: List[Tuple[float, int]] = []
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """True once k neighbors have been collected."""
+        return len(self._heap) >= self.k
+
+    @property
+    def kth_distance(self) -> float:
+        """Distance to the current worst retained neighbor.
+
+        Infinite while the set is not yet full, so every candidate is
+        admitted during warm-up and the completion test never fires early.
+        """
+        if not self.is_full:
+            return math.inf
+        return -self._heap[0][0]
+
+    def ids(self) -> np.ndarray:
+        """Descriptor ids of the current neighbors, best first."""
+        return np.asarray([n.descriptor_id for n in self.sorted()], dtype=np.int64)
+
+    def sorted(self) -> List[Neighbor]:
+        """Current neighbors ordered by (distance, id), best first."""
+        items = sorted((-d, -i) for d, i in self._heap)
+        return [Neighbor(d, i) for d, i in items]
+
+    # -- updates ------------------------------------------------------------
+
+    def _admits(self, distance: float, descriptor_id: int) -> bool:
+        if not self.is_full:
+            return True
+        worst_d, worst_neg_id = -self._heap[0][0], self._heap[0][1]
+        if distance < worst_d:
+            return True
+        return distance == worst_d and -descriptor_id > worst_neg_id
+
+    def offer(self, distance: float, descriptor_id: int) -> bool:
+        """Offer one candidate; returns True if it entered the set."""
+        distance = float(distance)
+        descriptor_id = int(descriptor_id)
+        if not self._admits(distance, descriptor_id):
+            return False
+        entry = (-distance, -descriptor_id)
+        if self.is_full:
+            heapq.heapreplace(self._heap, entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        return True
+
+    def update(self, distances: np.ndarray, descriptor_ids: np.ndarray) -> int:
+        """Bulk-offer a chunk's worth of candidates; returns how many entered.
+
+        This is the per-chunk hot path: it first filters candidates against
+        the current k-th distance with one vectorized comparison, then walks
+        only the survivors through the heap.
+        """
+        distances = np.asarray(distances, dtype=np.float64)
+        descriptor_ids = np.asarray(descriptor_ids, dtype=np.int64)
+        if distances.shape != descriptor_ids.shape:
+            raise ValueError(
+                f"distances shape {distances.shape} != ids shape {descriptor_ids.shape}"
+            )
+        threshold = self.kth_distance
+        if math.isinf(threshold):
+            candidates = np.arange(distances.shape[0])
+        else:
+            candidates = np.nonzero(distances <= threshold)[0]
+        if candidates.size == 0:
+            return 0
+        # Process best-first so the threshold tightens as fast as possible.
+        order = candidates[
+            np.lexsort((descriptor_ids[candidates], distances[candidates]))
+        ]
+        admitted = 0
+        for row in order:
+            d = float(distances[row])
+            if d > self.kth_distance:
+                break  # sorted ascending: nothing later can enter
+            if self.offer(d, int(descriptor_ids[row])):
+                admitted += 1
+        return admitted
+
+    def merge(self, other: "NeighborSet") -> None:
+        """Fold another neighbor set into this one."""
+        for neighbor in other.sorted():
+            self.offer(neighbor.distance, neighbor.descriptor_id)
+
+    # -- set-style helpers ----------------------------------------------------
+
+    def id_set(self) -> set:
+        """Current neighbor ids as a Python set (for precision counting)."""
+        return {-i for _, i in self._heap}
+
+    def __contains__(self, descriptor_id: int) -> bool:
+        return -int(descriptor_id) in {i for _, i in self._heap}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NeighborSet(k={self.k}, size={len(self)}, kth={self.kth_distance:.6g})"

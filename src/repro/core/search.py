@@ -1,0 +1,225 @@
+"""The approximate chunk-search algorithm (paper section 4.3).
+
+For a query descriptor the searcher:
+
+1. computes the distance between the query and the centroids of all chunks
+   and ranks the chunks by increasing distance (one pass over the index
+   file, charged as a sequential read plus ranking CPU);
+2. reads chunks in rank order; each chunk's descriptors are fetched and
+   their distances to the query computed, possibly updating the current
+   neighbor set;
+3. after every chunk, consults the stop rule, and independently checks the
+   exact-completion proof: once ``k`` neighbors are known and the minimum
+   possible distance to any *remaining* chunk (``d(query, centroid) -
+   radius``, the reason radii are stored in the index) exceeds the current
+   k-th distance, all true nearest neighbors have provably been found.
+
+Timing comes from a :class:`~repro.simio.pipeline.PipelineSimulator`
+(deterministic, calibrated to the paper's hardware) or a wall clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..simio.calibration import PAPER_2005_COST_MODEL
+from ..simio.pipeline import CostModel
+from .chunk_index import ChunkIndex
+from .distance import squared_distances
+from .neighbors import Neighbor, NeighborSet
+from .stop_rules import ExactCompletion, SearchProgress, StopRule
+from .trace import SearchTrace, TraceEvent
+
+__all__ = ["ChunkSearcher", "SearchResult", "RANK_BY_CENTROID", "RANK_BY_LOWER_BOUND"]
+
+#: Rank chunks by distance to the centroid (what the paper does).
+RANK_BY_CENTROID = "centroid"
+#: Rank chunks by the lower bound ``d(centroid) - radius`` (ablation).
+RANK_BY_LOWER_BOUND = "lower_bound"
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of one query.
+
+    Attributes
+    ----------
+    neighbors:
+        Final neighbor list, best first.
+    trace:
+        Per-chunk execution log (always recorded).
+    stop_reason:
+        Which rule ended the search: ``"completed"`` for the exactness
+        proof, ``"exhausted"`` when every chunk was read, else the stop
+        rule's reason string.
+    completed:
+        True iff the result is provably the exact k-NN answer.
+    """
+
+    neighbors: List[Neighbor]
+    trace: SearchTrace
+    stop_reason: str
+    completed: bool
+
+    @property
+    def chunks_read(self) -> int:
+        return self.trace.chunks_read
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.trace.final_elapsed_s
+
+    def neighbor_ids(self) -> np.ndarray:
+        return np.asarray([n.descriptor_id for n in self.neighbors], dtype=np.int64)
+
+
+class ChunkSearcher:
+    """Executes ranked chunk scans over one :class:`ChunkIndex`."""
+
+    def __init__(
+        self,
+        index: ChunkIndex,
+        cost_model: CostModel = PAPER_2005_COST_MODEL,
+        rank_by: str = RANK_BY_CENTROID,
+    ):
+        if rank_by not in (RANK_BY_CENTROID, RANK_BY_LOWER_BOUND):
+            raise ValueError(f"unknown ranking rule {rank_by!r}")
+        self.index = index
+        self.cost_model = cost_model
+        self.rank_by = rank_by
+        # Cached per-index arrays used by every query.
+        self._centroids = index.centroid_matrix()
+        self._radii = index.radius_vector()
+        self._counts = index.descriptor_counts()
+        self._pages = index.page_counts()
+
+    # -- ranking -------------------------------------------------------------
+
+    def rank_chunks(self, query: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Rank all chunks for a query.
+
+        Returns ``(order, suffix_min_lower_bound)`` where ``order[r]`` is
+        the chunk id at rank ``r`` and ``suffix_min_lower_bound[r]`` is the
+        smallest lower bound among chunks at rank ``r`` or later — the
+        quantity the completion proof compares against the k-th distance
+        after ``r`` chunks were read.
+        """
+        centroid_d = np.sqrt(squared_distances(query, self._centroids))
+        lower_bounds = np.maximum(0.0, centroid_d - self._radii)
+        key = centroid_d if self.rank_by == RANK_BY_CENTROID else lower_bounds
+        order = np.lexsort((np.arange(key.shape[0]), key))
+        ranked_bounds = lower_bounds[order]
+        # suffix_min[r] = min lower bound over ranks >= r.
+        suffix_min = np.minimum.accumulate(ranked_bounds[::-1])[::-1]
+        return order, suffix_min
+
+    # -- search ----------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 30,
+        stop_rule: Optional[StopRule] = None,
+        true_neighbor_ids: Optional[Sequence[int]] = None,
+    ) -> SearchResult:
+        """Run one query.
+
+        Parameters
+        ----------
+        query:
+            The query descriptor, shape ``(d,)``.
+        k:
+            Neighbors to return (the paper uses 30 throughout).
+        stop_rule:
+            Early-termination policy; defaults to
+            :class:`~repro.core.stop_rules.ExactCompletion` (run until the
+            exactness proof fires).
+        true_neighbor_ids:
+            Optional ground-truth ids for this query.  When given, every
+            trace event records how many true neighbors the intermediate
+            result already holds — the paper's quality measurement.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.index.dimensions:
+            raise ValueError(
+                f"query has {query.shape[0]} dims, index has {self.index.dimensions}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise ValueError("query contains NaN or infinite components")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        stop_rule = stop_rule if stop_rule is not None else ExactCompletion()
+        truth = (
+            frozenset(int(i) for i in true_neighbor_ids)
+            if true_neighbor_ids is not None
+            else None
+        )
+
+        order, suffix_min = self.rank_chunks(query)
+        simulator = self.cost_model.simulator()
+        start_s = simulator.start_query(self.index.n_chunks, self.index.index_bytes)
+        trace = SearchTrace(start_elapsed_s=start_s)
+        neighbors = NeighborSet(k)
+
+        stop_reason = "exhausted"
+        completed = False
+        for rank0, chunk_id in enumerate(np.asarray(order)):
+            chunk_id = int(chunk_id)
+            ids, vectors = self.index.read_chunk(chunk_id)
+            elapsed = simulator.process_chunk(
+                int(self._pages[chunk_id]),
+                int(self._counts[chunk_id]),
+                page_offset=self.index.metas[chunk_id].page_offset,
+            )
+            distances = np.sqrt(squared_distances(query, vectors))
+            neighbors.update(distances, ids)
+
+            matches = -1
+            if truth is not None:
+                matches = sum(1 for i in neighbors.id_set() if i in truth)
+            trace.append(
+                TraceEvent(
+                    chunk_id=chunk_id,
+                    rank=rank0 + 1,
+                    elapsed_s=elapsed,
+                    n_descriptors=int(self._counts[chunk_id]),
+                    neighbors_found=len(neighbors),
+                    kth_distance=neighbors.kth_distance,
+                    true_matches=matches,
+                )
+            )
+
+            remaining_lb = (
+                float(suffix_min[rank0 + 1]) if rank0 + 1 < order.shape[0] else math.inf
+            )
+            progress = SearchProgress(
+                chunks_read=rank0 + 1,
+                elapsed_s=elapsed,
+                neighbors_found=len(neighbors),
+                kth_distance=neighbors.kth_distance,
+                remaining_lower_bound=remaining_lb,
+            )
+            # Completion proof: k found and no remaining chunk can help.
+            if neighbors.is_full and progress.completion_proven:
+                stop_reason = "completed"
+                completed = True
+                break
+            reason = stop_rule.check(progress)
+            if reason is not None:
+                stop_reason = reason
+                break
+        else:
+            # All chunks read without the proof firing early: the result is
+            # nevertheless exact (there is nothing left to read).
+            completed = True
+
+        return SearchResult(
+            neighbors=neighbors.sorted(),
+            trace=trace,
+            stop_reason=stop_reason,
+            completed=completed,
+        )

@@ -1,0 +1,157 @@
+"""Stop rules for the approximate chunk search.
+
+Section 4.3: "The search might simply stop once n chunks have been
+processed or when a time threshold has been passed.  If the search is asked
+to go to completion, however, it stops when k neighbors have been found and
+when the minimum distance to the next chunk is greater than the current
+distance to the k-th neighbor."
+
+Each rule inspects a :class:`SearchProgress` snapshot after a chunk has
+been processed and returns a reason string when the search should stop, or
+``None`` to continue.  The completion proof is not a rule here — it is a
+correctness guarantee applied by the searcher itself — but
+:class:`ExactCompletion` exists as an explicit "no early stop" marker.
+
+The paper's "second lesson" (section 5.7) — elapsed time is a more natural
+stop rule than a chunk count, because variably sized chunks make the chunk
+count a poor proxy for time — is exercised by the stop-rule ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+__all__ = [
+    "SearchProgress",
+    "StopRule",
+    "ExactCompletion",
+    "MaxChunks",
+    "TimeBudget",
+    "FirstOf",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchProgress:
+    """Snapshot handed to stop rules after each processed chunk.
+
+    Attributes
+    ----------
+    chunks_read:
+        Chunks processed so far (>= 1 when rules are consulted).
+    elapsed_s:
+        Clock reading after the last chunk completed (simulated or wall).
+    neighbors_found:
+        Current size of the neighbor set (== k once warm).
+    kth_distance:
+        Distance to the current k-th neighbor (inf while not full).
+    remaining_lower_bound:
+        Smallest possible distance from the query to any descriptor in any
+        *unread* chunk (min over remaining chunks of
+        ``d(query, centroid) - radius``); inf when no chunks remain.
+    """
+
+    chunks_read: int
+    elapsed_s: float
+    neighbors_found: int
+    kth_distance: float
+    remaining_lower_bound: float
+
+    @property
+    def completion_proven(self) -> bool:
+        """True when no unread chunk can improve the k-th neighbor."""
+        return self.remaining_lower_bound > self.kth_distance
+
+
+class StopRule:
+    """Base class; subclasses override :meth:`check`."""
+
+    def check(self, progress: SearchProgress) -> Optional[str]:
+        """Return a stop reason, or ``None`` to keep scanning."""
+        raise NotImplementedError
+
+    def __and__(self, other: "StopRule") -> "FirstOf":
+        return FirstOf([self, other])
+
+
+class ExactCompletion(StopRule):
+    """Never stop early; run until the completion proof fires.
+
+    The searcher always applies the completion proof, so this rule simply
+    declines to stop.  It exists so that "run to completion" is an explicit
+    choice at call sites.
+    """
+
+    def check(self, progress: SearchProgress) -> Optional[str]:
+        return None
+
+    def __repr__(self) -> str:
+        return "ExactCompletion()"
+
+
+class MaxChunks(StopRule):
+    """Stop after a fixed number of chunks (the "simple and natural stop
+    rule" of section 1: process only the n nearest chunks)."""
+
+    def __init__(self, n_chunks: int):
+        if n_chunks <= 0:
+            raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+        self.n_chunks = int(n_chunks)
+
+    def check(self, progress: SearchProgress) -> Optional[str]:
+        if progress.chunks_read >= self.n_chunks:
+            return f"max-chunks({self.n_chunks})"
+        return None
+
+    def __repr__(self) -> str:
+        return f"MaxChunks({self.n_chunks})"
+
+
+class TimeBudget(StopRule):
+    """Stop once the clock passes a budget (seconds).
+
+    Because a chunk is the granule of the search, the rule fires *after*
+    the chunk whose completion crossed the budget — the same semantics as
+    the paper's "when a time threshold has been passed".
+    """
+
+    def __init__(self, budget_s: float):
+        if budget_s <= 0 or math.isnan(budget_s):
+            raise ValueError(f"budget must be positive, got {budget_s}")
+        self.budget_s = float(budget_s)
+
+    def check(self, progress: SearchProgress) -> Optional[str]:
+        if progress.elapsed_s >= self.budget_s:
+            return f"time-budget({self.budget_s:g}s)"
+        return None
+
+    def __repr__(self) -> str:
+        return f"TimeBudget({self.budget_s!r})"
+
+
+class FirstOf(StopRule):
+    """Composite: stop as soon as any member rule fires."""
+
+    def __init__(self, rules: Sequence[StopRule]):
+        flattened = []
+        for rule in rules:
+            if isinstance(rule, FirstOf):
+                flattened.extend(rule.rules)
+            else:
+                flattened.append(rule)
+        if not flattened:
+            raise ValueError("FirstOf needs at least one rule")
+        self.rules = list(flattened)
+
+    def check(self, progress: SearchProgress) -> Optional[str]:
+        for rule in self.rules:
+            reason = rule.check(progress)
+            if reason is not None:
+                return reason
+        return None
+
+    def __repr__(self) -> str:
+        return f"FirstOf({self.rules!r})"

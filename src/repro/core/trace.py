@@ -1,0 +1,123 @@
+"""Per-chunk search traces.
+
+The paper logs its quality and time metrics "after the processing of every
+chunk" (section 5.4), always running queries to conclusion so that the
+quality of intermediate results can be measured afterwards.  A
+:class:`SearchTrace` is that log for one query: one :class:`TraceEvent` per
+processed chunk, plus the fixed query-start cost (index read + ranking).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List
+
+import numpy as np
+
+__all__ = ["TraceEvent", "SearchTrace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """State right after one chunk finished processing.
+
+    Attributes
+    ----------
+    chunk_id:
+        Which chunk (index-file position) was processed.
+    rank:
+        Its position in the query's chunk ranking (1-based).
+    elapsed_s:
+        Clock reading when the chunk's results became visible.
+    n_descriptors:
+        Descriptors scanned in this chunk.
+    neighbors_found:
+        Size of the neighbor set after the update.
+    kth_distance:
+        Current distance to the k-th neighbor (inf while warming up).
+    true_matches:
+        How many of the query's *true* k nearest neighbors are present in
+        the current neighbor set — the paper's intermediate-quality
+        measure.  ``-1`` when no ground truth was supplied.
+    """
+
+    chunk_id: int
+    rank: int
+    elapsed_s: float
+    n_descriptors: int
+    neighbors_found: int
+    kth_distance: float
+    true_matches: int = -1
+
+
+@dataclasses.dataclass
+class SearchTrace:
+    """Complete per-chunk log of one query's execution."""
+
+    start_elapsed_s: float
+    events: List[TraceEvent] = dataclasses.field(default_factory=list)
+
+    def append(self, event: TraceEvent) -> None:
+        if self.events and event.rank != self.events[-1].rank + 1:
+            raise ValueError("trace events must arrive in rank order")
+        if not self.events and event.rank != 1:
+            raise ValueError("first trace event must have rank 1")
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- quality-over-cost curves (feed figures 2-5) -----------------------
+
+    def chunks_to_find(self, n_neighbors: int) -> float:
+        """Chunks read until ``n_neighbors`` true neighbors were present.
+
+        Returns 0 for ``n_neighbors == 0`` and ``inf`` if the trace never
+        reached that many matches (cannot happen on completion runs).
+        Requires ground truth to have been supplied to the search.
+        """
+        if n_neighbors <= 0:
+            return 0.0
+        for event in self.events:
+            if event.true_matches < 0:
+                raise ValueError("trace has no ground-truth match counts")
+            if event.true_matches >= n_neighbors:
+                return float(event.rank)
+        return math.inf
+
+    def time_to_find(self, n_neighbors: int) -> float:
+        """Elapsed seconds until ``n_neighbors`` true neighbors were present.
+
+        For ``n_neighbors == 0`` this is the query-start cost (the index
+        read), which is why figures 4-5 do not start at the origin.
+        """
+        if n_neighbors <= 0:
+            return self.start_elapsed_s
+        for event in self.events:
+            if event.true_matches < 0:
+                raise ValueError("trace has no ground-truth match counts")
+            if event.true_matches >= n_neighbors:
+                return event.elapsed_s
+        return math.inf
+
+    def matches_curve(self) -> np.ndarray:
+        """``true_matches`` after each chunk, as an int array."""
+        return np.asarray([e.true_matches for e in self.events], dtype=np.int64)
+
+    def elapsed_curve(self) -> np.ndarray:
+        """Completion timestamp of each chunk."""
+        return np.asarray([e.elapsed_s for e in self.events], dtype=np.float64)
+
+    @property
+    def final_elapsed_s(self) -> float:
+        """Clock reading when the query finished."""
+        return self.events[-1].elapsed_s if self.events else self.start_elapsed_s
+
+    @property
+    def chunks_read(self) -> int:
+        return len(self.events)
+
+    @property
+    def descriptors_scanned(self) -> int:
+        return int(sum(e.n_descriptors for e in self.events))

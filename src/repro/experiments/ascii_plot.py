@@ -1,0 +1,104 @@
+"""ASCII rendering of figure results.
+
+The reproduction environment has no plotting stack, so figures can be
+*seen* directly in the terminal: each series is drawn with its own marker
+on a character grid, with optional log scaling on either axis (Figure 1 is
+log-y, Figures 6-7 log-x, matching the paper's axes).
+
+This is intentionally simple — one marker per series, nearest-cell
+rasterization — but it makes the crossovers and valleys of figures 2-7
+visible without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .results import FigureResult
+
+__all__ = ["plot_figure", "SERIES_MARKERS"]
+
+#: Markers assigned to series in order.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> List[float]:
+    out = []
+    for value in values:
+        v = float(value)
+        if log:
+            v = math.log10(v) if v > 0 else math.nan
+        out.append(v)
+    return out
+
+
+def _scale(v: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (v - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(position * (cells - 1)))))
+
+
+def plot_figure(
+    figure: FigureResult,
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render a :class:`FigureResult` as an ASCII chart.
+
+    Non-positive values are skipped when the corresponding axis is
+    logarithmic.  Returns the chart plus a marker legend.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("chart needs at least 8x4 cells")
+    if len(figure.series) > len(SERIES_MARKERS):
+        raise ValueError(
+            f"too many series to plot ({len(figure.series)} > "
+            f"{len(SERIES_MARKERS)} markers)"
+        )
+
+    xs = _transform(figure.x_values, log_x)
+    all_ys: List[float] = []
+    series_ys = {}
+    for name, values in figure.series.items():
+        ys = _transform(values, log_y)
+        series_ys[name] = ys
+        all_ys.extend(y for y in ys if not math.isnan(y))
+    finite_xs = [x for x in xs if not math.isnan(x)]
+    if not finite_xs or not all_ys:
+        raise ValueError("nothing plottable (all values filtered by log axes)")
+
+    x_lo, x_hi = min(finite_xs), max(finite_xs)
+    y_lo, y_hi = min(all_ys), max(all_ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(SERIES_MARKERS, series_ys.items()):
+        for x, y in zip(xs, ys):
+            if math.isnan(x) or math.isnan(y):
+                continue
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        return f"{10 ** value:.4g}" if log else f"{value:.4g}"
+
+    lines = [f"[{figure.experiment_id}] {figure.title}"]
+    lines.append(f"y: {fmt(y_hi, log_y)}" + (" (log)" if log_y else ""))
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_axis = (
+        f" x: {fmt(x_lo, log_x)} .. {fmt(x_hi, log_x)}  ({figure.x_label}"
+        + (", log)" if log_x else ")")
+    )
+    lines.append(f"y: {fmt(y_lo, log_y)}" + x_axis)
+    legend = "  ".join(
+        f"{marker}={name}"
+        for marker, name in zip(SERIES_MARKERS, figure.series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

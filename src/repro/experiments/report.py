@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns a result object whose ``render()`` emits
+the same rows/series the paper's table or figure reports, as fixed-width
+text.  Benchmarks print these, and EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series_block"]
+
+
+def _cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered = [[_cell(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(row[c].rjust(widths[c]) for c in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series_block(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """A figure as a table: one x column plus one column per plotted series."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,62 @@
+"""Common result containers for experiment drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from .report import format_series_block, format_table
+
+__all__ = ["FigureResult", "TableResult"]
+
+
+@dataclasses.dataclass
+class FigureResult:
+    """A figure as data: shared x values plus one named series per curve.
+
+    ``render()`` prints the figure as a fixed-width block with one column
+    per series — the same numbers the paper plots.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: List
+    series: Dict[str, List[float]]
+    precision: int = 3
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points for "
+                    f"{len(self.x_values)} x values"
+                )
+
+    def render(self) -> str:
+        return format_series_block(
+            self.x_label,
+            self.x_values,
+            self.series,
+            title=f"[{self.experiment_id}] {self.title}",
+            precision=self.precision,
+        )
+
+
+@dataclasses.dataclass
+class TableResult:
+    """A table as data: headers plus rows of cells."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List]
+    precision: int = 2
+
+    def render(self) -> str:
+        return format_table(
+            self.headers,
+            self.rows,
+            title=f"[{self.experiment_id}] {self.title}",
+            precision=self.precision,
+        )

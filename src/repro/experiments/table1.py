@@ -1,0 +1,54 @@
+"""Table 1 — properties of the BAG and SR-tree chunk indexes.
+
+Paper columns: retained descriptors, discarded descriptors, percentage of
+outliers (shared per size class), then number of chunks and descriptors per
+chunk for BAG and for the SR-tree.
+
+Expected shape (paper values): outlier percentage decreases from SMALL
+(12.2 %) to LARGE (8.0 %); BAG and SR chunk counts are nearly equal within
+each size class by construction; descriptors-per-chunk ratios across size
+classes are roughly 1 : 1.8 : 2.6.
+"""
+
+from __future__ import annotations
+
+from .config import SIZE_CLASSES
+from .data import ExperimentData
+from .results import TableResult
+
+__all__ = ["run"]
+
+
+def run(data: ExperimentData) -> TableResult:
+    """Build Table 1 from the six chunking results."""
+    rows = []
+    for size_class in SIZE_CLASSES:
+        bag = data.built("BAG", size_class).chunking
+        sr = data.built("SR", size_class).chunking
+        rows.append(
+            [
+                size_class,
+                bag.n_retained,
+                bag.n_outliers,
+                round(100.0 * bag.outlier_fraction, 1),
+                bag.n_chunks,
+                round(bag.mean_chunk_size),
+                sr.n_chunks,
+                round(sr.mean_chunk_size),
+            ]
+        )
+    return TableResult(
+        experiment_id="table1",
+        title="Properties of the BAG and SR-tree chunk indexes",
+        headers=[
+            "Chunk sizes",
+            "Retained",
+            "Discarded",
+            "Outliers %",
+            "BAG chunks",
+            "BAG desc/chunk",
+            "SR chunks",
+            "SR desc/chunk",
+        ],
+        rows=rows,
+    )

@@ -1,0 +1,38 @@
+"""Table 2 — time to completion (seconds).
+
+Average simulated time for the exact search to prove completion, for the
+six indexes under both workloads.
+
+Expected shape (paper): completion is faster for BAG than for the SR-tree
+at every size class (BAG's tight radii let the lower-bound proof fire after
+fewer chunks), and larger chunks complete faster than smaller ones for both
+families (fewer random accesses; Table 2's columns fall monotonically from
+SMALL to LARGE).
+"""
+
+from __future__ import annotations
+
+from ..core.metrics import completion_stats
+from .config import SIZE_CLASSES
+from .data import ExperimentData
+from .results import TableResult
+
+__all__ = ["run"]
+
+
+def run(data: ExperimentData) -> TableResult:
+    rows = []
+    for size_class in SIZE_CLASSES:
+        cells = [size_class]
+        for family in ("BAG", "SR"):
+            for workload_name in ("DQ", "SQ"):
+                traces = data.completion_traces(family, size_class, workload_name)
+                cells.append(round(completion_stats(traces).mean_elapsed_s, 3))
+        rows.append(cells)
+    return TableResult(
+        experiment_id="table2",
+        title="Time to completion (simulated seconds)",
+        headers=["Chunk sizes", "BAG DQ", "BAG SQ", "SR DQ", "SR SQ"],
+        rows=rows,
+        precision=3,
+    )

@@ -1,0 +1,231 @@
+"""DBIN: density-based indexing for approximate NN queries (related work).
+
+Bennett, Fayyad, Geiger, KDD 1999 — from the paper's related work: DBIN
+"exploits the statistical properties of data and clusters data using the
+EM (Expectation Maximization) algorithm.  It aborts the NN-search when the
+estimated probability for a remaining database vector to be a better
+neighbor than the ones currently known falls below a predetermined
+threshold."
+
+Implementation:
+
+* **Build** — a diagonal-covariance Gaussian mixture fitted with EM (from
+  scratch, seeded k-means++ means); every descriptor is binned under its
+  most probable component.
+* **Search** — bins are scanned in decreasing query log-density order.
+  After each bin the *expected number of better neighbors* among the
+  unscanned bins is estimated: for bin ``j`` with fitted mean/variances,
+  the squared distance ``D²`` of one of its samples to the query has a
+  known mean and variance, so ``P(D² < r²)`` is bounded with the
+  one-sided Chebyshev (Cantelli) inequality; summing ``n_j * P_j`` over
+  remaining bins gives the abort statistic.  The search stops when it
+  falls below ``abort_threshold``.
+
+With ``abort_threshold = 0`` every bin is scanned and the result is exact
+(the bins partition the collection), mirroring how the paper's own chunk
+search degenerates to a sequential scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.dataset import DescriptorCollection
+from ..core.distance import squared_distances
+from ..core.neighbors import NeighborSet
+
+__all__ = ["DbinIndex", "GaussianMixture"]
+
+_VARIANCE_FLOOR = 1e-8
+
+
+class GaussianMixture:
+    """Diagonal-covariance Gaussian mixture fitted with EM."""
+
+    def __init__(self, n_components: int, em_iterations: int = 15, seed: int = 0):
+        if n_components < 1:
+            raise ValueError("need at least one component")
+        if em_iterations < 1:
+            raise ValueError("need at least one EM iteration")
+        self.n_components = int(n_components)
+        self.em_iterations = int(em_iterations)
+        self.seed = int(seed)
+        self.means: np.ndarray = None
+        self.variances: np.ndarray = None
+        self.weights: np.ndarray = None
+
+    # -- fitting ----------------------------------------------------------------
+
+    def _init_means(self, data: np.ndarray, rng) -> np.ndarray:
+        """k-means++-style seeding."""
+        n = data.shape[0]
+        means = np.empty((self.n_components, data.shape[1]))
+        means[0] = data[rng.integers(n)]
+        d2 = np.full(n, np.inf)
+        for c in range(1, self.n_components):
+            diffs = data - means[c - 1]
+            d2 = np.minimum(d2, np.einsum("ij,ij->i", diffs, diffs))
+            total = d2.sum()
+            if total <= 0:
+                means[c] = data[rng.integers(n)]
+            else:
+                means[c] = data[rng.choice(n, p=d2 / total)]
+        return means
+
+    def log_densities(self, data: np.ndarray) -> np.ndarray:
+        """``(n, K)`` matrix of weighted per-component log densities."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, d = data.shape
+        out = np.empty((n, self.n_components))
+        for c in range(self.n_components):
+            diff2 = (data - self.means[c]) ** 2
+            out[:, c] = (
+                np.log(self.weights[c])
+                - 0.5 * np.sum(np.log(2 * np.pi * self.variances[c]))
+                - 0.5 * np.sum(diff2 / self.variances[c], axis=1)
+            )
+        return out
+
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < self.n_components:
+            raise ValueError("need at least one point per component")
+        rng = np.random.default_rng(self.seed)
+        n, d = data.shape
+        self.means = self._init_means(data, rng)
+        global_var = data.var(axis=0) + _VARIANCE_FLOOR
+        self.variances = np.tile(global_var, (self.n_components, 1))
+        self.weights = np.full(self.n_components, 1.0 / self.n_components)
+
+        for _ in range(self.em_iterations):
+            # E-step: responsibilities via the log-sum-exp trick.
+            log_p = self.log_densities(data)
+            log_norm = np.logaddexp.reduce(log_p, axis=1, keepdims=True)
+            resp = np.exp(log_p - log_norm)
+            # M-step.
+            mass = resp.sum(axis=0)
+            mass = np.maximum(mass, 1e-12)
+            self.weights = mass / n
+            self.means = (resp.T @ data) / mass[:, np.newaxis]
+            for c in range(self.n_components):
+                diff2 = (data - self.means[c]) ** 2
+                self.variances[c] = (
+                    (resp[:, c][:, np.newaxis] * diff2).sum(axis=0) / mass[c]
+                ) + _VARIANCE_FLOOR
+        return self
+
+    def assign(self, data: np.ndarray) -> np.ndarray:
+        """Most probable component per point."""
+        return np.argmax(self.log_densities(data), axis=1)
+
+
+class DbinIndex:
+    """EM-binned collection with probabilistic early abort."""
+
+    def __init__(
+        self,
+        collection: DescriptorCollection,
+        n_components: int = 16,
+        em_iterations: int = 15,
+        seed: int = 0,
+    ):
+        if len(collection) == 0:
+            raise ValueError("cannot index an empty collection")
+        self.collection = collection
+        data = collection.vectors.astype(np.float64)
+        self.mixture = GaussianMixture(
+            n_components=min(n_components, len(collection)),
+            em_iterations=em_iterations,
+            seed=seed,
+        ).fit(data)
+        assignment = self.mixture.assign(data)
+        self._bins: List[np.ndarray] = [
+            np.flatnonzero(assignment == c)
+            for c in range(self.mixture.n_components)
+        ]
+
+    @property
+    def n_bins(self) -> int:
+        return len(self._bins)
+
+    def bin_sizes(self) -> np.ndarray:
+        return np.asarray([rows.size for rows in self._bins], dtype=np.int64)
+
+    # -- abort statistic -------------------------------------------------------
+
+    def _better_neighbor_probability(
+        self, component: int, query: np.ndarray, radius2: float
+    ) -> float:
+        """Cantelli upper bound on P(D² < radius²) for one sample of the
+        component, where D is its distance to ``query``.
+
+        For a diagonal Gaussian, ``D² = sum_i (x_i - q_i)²`` has
+        ``mean = sum(var_i + gap_i²)`` and
+        ``variance = sum(2 var_i² + 4 var_i gap_i²)``.
+        """
+        var = self.mixture.variances[component]
+        gap2 = (self.mixture.means[component] - query) ** 2
+        mean = float(np.sum(var + gap2))
+        variance = float(np.sum(2.0 * var**2 + 4.0 * var * gap2))
+        if radius2 >= mean:
+            return 1.0
+        shortfall = mean - radius2
+        return variance / (variance + shortfall * shortfall)
+
+    def expected_better_neighbors(
+        self, query: np.ndarray, radius2: float, remaining_bins
+    ) -> float:
+        """Expected count of unscanned descriptors within ``sqrt(radius2)``."""
+        return float(
+            sum(
+                self._bins[c].size
+                * self._better_neighbor_probability(c, query, radius2)
+                for c in remaining_bins
+            )
+        )
+
+    # -- search ---------------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        abort_threshold: float = 0.1,
+    ) -> Tuple[List[int], int]:
+        """Approximate k-NN with probabilistic abort.
+
+        Returns ``(descriptor_ids, bins_scanned)``.  ``abort_threshold``
+        is the expected number of undiscovered better neighbors below
+        which the search stops; ``0`` disables the abort (exact result).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if abort_threshold < 0:
+            raise ValueError("abort threshold cannot be negative")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.collection.dimensions:
+            raise ValueError("query dimensionality mismatch")
+
+        order = np.argsort(-self.mixture.log_densities(query)[0], kind="stable")
+        neighbors = NeighborSet(min(k, len(self.collection)))
+        scanned = 0
+        for rank, component in enumerate(order):
+            rows = self._bins[int(component)]
+            scanned += 1
+            if rows.size:
+                d = np.sqrt(
+                    squared_distances(query, self.collection.vectors[rows])
+                )
+                neighbors.update(d, self.collection.ids[rows])
+            if abort_threshold > 0 and neighbors.is_full:
+                remaining = order[rank + 1 :]
+                if not remaining.size:
+                    break
+                expected = self.expected_better_neighbors(
+                    query, neighbors.kth_distance**2, remaining
+                )
+                if expected < abort_threshold:
+                    break
+        return [int(i) for i in neighbors.ids()], scanned

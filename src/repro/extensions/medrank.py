@@ -1,0 +1,131 @@
+"""Medrank: approximate NN search by rank aggregation (related work).
+
+Fagin, Kumar, Sivakumar: "Efficient similarity search and classification
+via rank aggregation", SIGMOD 2003 — discussed in the paper's related work
+(section 6) as an I/O-bound, I/O-optimal alternative to distance-based
+approximate search:
+
+1. At build time every descriptor is projected onto ``n_lines`` random
+   lines; each line keeps its descriptors sorted by projection value.
+2. At query time the query is projected onto the same lines; per line, a
+   cursor walks outward from the query's position, emitting descriptors in
+   order of projection proximity.
+3. A descriptor's *median rank* is the step at which it has been seen on
+   more than half the lines; the first descriptor to reach that majority is
+   reported as the (approximate) nearest neighbor, the next as the second,
+   and so on.
+
+The algorithm never computes a high-dimensional distance at query time —
+exactly the property the paper quotes ("based on the aggregation of
+ranking rather than distance calculations").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.dataset import DescriptorCollection
+
+__all__ = ["MedrankIndex"]
+
+
+class MedrankIndex:
+    """Random-projection rank-aggregation index.
+
+    Parameters
+    ----------
+    collection:
+        Descriptors to index.
+    n_lines:
+        Number of random projection lines (odd counts give a strict
+        majority at ``(n_lines // 2) + 1`` sightings).
+    seed:
+        Seed for the random line directions.
+    """
+
+    def __init__(
+        self,
+        collection: DescriptorCollection,
+        n_lines: int = 15,
+        seed: int = 0,
+    ):
+        if len(collection) == 0:
+            raise ValueError("cannot index an empty collection")
+        if n_lines < 1:
+            raise ValueError("need at least one projection line")
+        self.collection = collection
+        self.n_lines = int(n_lines)
+        rng = np.random.default_rng(seed)
+        directions = rng.standard_normal((self.n_lines, collection.dimensions))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        self._directions = directions
+        # Per line: projections sorted ascending, plus the row order.
+        projections = collection.vectors.astype(np.float64) @ directions.T
+        self._sorted_rows = np.argsort(projections, axis=0, kind="stable").T
+        self._sorted_values = np.take_along_axis(
+            projections.T, self._sorted_rows, axis=1
+        )
+
+    def search(self, query: np.ndarray, k: int = 1) -> List[int]:
+        """Return ``k`` descriptor ids by best median rank.
+
+        Majority threshold: a descriptor is emitted once it has been seen
+        on more than half the lines.  Ties (several descriptors reaching
+        majority on the same step) break deterministically by descriptor
+        row.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.collection.dimensions:
+            raise ValueError("query dimensionality mismatch")
+
+        n = len(self.collection)
+        k = min(k, n)
+        q_proj = self._directions @ query
+
+        # Two cursors per line, starting at the query's insertion point.
+        highs = np.array(
+            [
+                np.searchsorted(self._sorted_values[line], q_proj[line])
+                for line in range(self.n_lines)
+            ]
+        )
+        lows = highs - 1
+
+        seen_counts = np.zeros(n, dtype=np.int32)
+        majority = self.n_lines // 2 + 1
+        result: List[int] = []
+        emitted = np.zeros(n, dtype=bool)
+
+        # Each round advances every line's nearer cursor by one element.
+        max_steps = 2 * n * self.n_lines
+        for _ in range(max_steps):
+            if len(result) >= k:
+                break
+            for line in range(self.n_lines):
+                low, high = lows[line], highs[line]
+                take_low = False
+                if low >= 0 and high < n:
+                    d_low = q_proj[line] - self._sorted_values[line][low]
+                    d_high = self._sorted_values[line][high] - q_proj[line]
+                    take_low = d_low <= d_high
+                elif low >= 0:
+                    take_low = True
+                elif high >= n:
+                    continue  # line exhausted
+                if take_low:
+                    row = int(self._sorted_rows[line][low])
+                    lows[line] -= 1
+                else:
+                    row = int(self._sorted_rows[line][high])
+                    highs[line] += 1
+                seen_counts[row] += 1
+                if seen_counts[row] >= majority and not emitted[row]:
+                    emitted[row] = True
+                    result.append(int(self.collection.ids[row]))
+                    if len(result) >= k:
+                        break
+        return result[:k]

@@ -1,0 +1,114 @@
+"""P-Sphere tree: trading disk space for search time (related work).
+
+Goldstein & Ramakrishnan, VLDB 2000 — from the paper's related work:
+"vectors belonging to overlapping hyperspheres are replicated.
+Hyperspheres are built such that the probability of finding the true NN of
+the query point can be enforced at run time by simply having the search
+identify the nearest center and solely scanning the corresponding
+hypersphere."
+
+Build: choose ``n_spheres`` centers (a k-means++-seeded sample of the
+data); each sphere stores the ``points_per_sphere`` database descriptors
+nearest to its center — descriptors near several centers are *replicated*.
+Search: one centroid ranking, then one sphere scan.  Quality is tuned by
+``points_per_sphere`` (more replication → higher probability the true NN
+sits in the chosen sphere), which is exactly the space-for-time trade the
+paper contrasts with chunking; as the paper notes, the scheme "is unable
+to place any guarantees beyond the first nearest neighbor".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.dataset import DescriptorCollection
+from ..core.distance import squared_distances, top_k_smallest
+
+__all__ = ["PSphereTree"]
+
+
+class PSphereTree:
+    """One-level P-Sphere index.
+
+    Parameters
+    ----------
+    collection:
+        Descriptors to index.
+    n_spheres:
+        Number of hyperspheres.
+    points_per_sphere:
+        Descriptors stored in each sphere (the replication knob).
+    seed:
+        Seed for center sampling.
+    """
+
+    def __init__(
+        self,
+        collection: DescriptorCollection,
+        n_spheres: int,
+        points_per_sphere: int,
+        seed: int = 0,
+    ):
+        n = len(collection)
+        if n == 0:
+            raise ValueError("cannot index an empty collection")
+        if n_spheres < 1:
+            raise ValueError("need at least one sphere")
+        if points_per_sphere < 1:
+            raise ValueError("spheres must hold at least one point")
+        self.collection = collection
+        self.n_spheres = min(int(n_spheres), n)
+        self.points_per_sphere = min(int(points_per_sphere), n)
+
+        rng = np.random.default_rng(seed)
+        vectors = collection.vectors.astype(np.float64)
+        self._centers = self._pick_centers(vectors, rng)
+        # Each sphere stores the rows of its nearest points (replicated).
+        self._sphere_rows: List[np.ndarray] = []
+        for center in self._centers:
+            d2 = squared_distances(center, vectors)
+            rows = top_k_smallest(d2, self.points_per_sphere)
+            self._sphere_rows.append(rows.astype(np.intp))
+
+    def _pick_centers(self, vectors: np.ndarray, rng) -> np.ndarray:
+        """k-means++-style distance-proportional center sampling."""
+        n = vectors.shape[0]
+        centers = np.empty((self.n_spheres, vectors.shape[1]))
+        centers[0] = vectors[rng.integers(n)]
+        d2 = np.full(n, np.inf)
+        for c in range(1, self.n_spheres):
+            diffs = vectors - centers[c - 1]
+            d2 = np.minimum(d2, np.einsum("ij,ij->i", diffs, diffs))
+            total = d2.sum()
+            if total <= 0:
+                centers[c] = vectors[rng.integers(n)]
+            else:
+                centers[c] = vectors[rng.choice(n, p=d2 / total)]
+        return centers
+
+    @property
+    def replication_factor(self) -> float:
+        """Stored descriptors / collection size — the disk-space price."""
+        stored = sum(rows.size for rows in self._sphere_rows)
+        return stored / len(self.collection)
+
+    def search(self, query: np.ndarray, k: int = 1) -> List[int]:
+        """Scan only the sphere with the nearest center; return up to
+        ``k`` descriptor ids (best first)."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.collection.dimensions:
+            raise ValueError("query dimensionality mismatch")
+        center_d2 = squared_distances(query, self._centers)
+        sphere = int(np.argmin(center_d2))
+        rows = self._sphere_rows[sphere]
+        d2 = squared_distances(query, self.collection.vectors[rows])
+        best = top_k_smallest(d2, min(k, rows.size))
+        return [int(self.collection.ids[rows[i]]) for i in best]
+
+    def descriptors_scanned_per_query(self) -> int:
+        """Work per query: exactly one sphere."""
+        return self.points_per_sphere

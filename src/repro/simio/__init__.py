@@ -1,0 +1,40 @@
+"""Simulated I/O and CPU substrate.
+
+The paper's elapsed-time results were measured on 2004 hardware (2.8 GHz
+Pentium 4, 40 GB ATA disk).  A Python reproduction cannot faithfully
+re-measure that machine's I/O-CPU overlap, so this package replaces the
+hardware with a deterministic, calibrated cost model:
+
+* :class:`~repro.simio.disk_model.DiskModel` — positioning + per-page
+  transfer costs;
+* :class:`~repro.simio.cpu_model.CpuModel` — per-distance and per-chunk CPU
+  costs;
+* :class:`~repro.simio.pipeline.PipelineSimulator` — the double-buffered
+  I/O-CPU overlap timeline of a ranked chunk scan;
+* :mod:`~repro.simio.calibration` — parameters pinned to the paper's
+  reported timings (Table 2 reproduces to within ~2 %).
+
+:mod:`~repro.simio.clock` also provides a wall clock so the same search
+code can be timed for real when desired.
+"""
+
+from .cache import LruPageCache, cached_read_time_s
+from .calibration import PAPER_2005_COST_MODEL, verify_calibration
+from .clock import Clock, SimulatedClock, WallClock
+from .cpu_model import CpuModel
+from .disk_model import DiskModel
+from .pipeline import CostModel, PipelineSimulator
+
+__all__ = [
+    "LruPageCache",
+    "cached_read_time_s",
+    "PAPER_2005_COST_MODEL",
+    "verify_calibration",
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "CpuModel",
+    "DiskModel",
+    "CostModel",
+    "PipelineSimulator",
+]

@@ -1,0 +1,107 @@
+"""Calibration of the simulated hardware against the paper's numbers.
+
+The paper reports (sections 5.4-5.5), on a 2.8 GHz Pentium 4 with a 40 GB
+ATA disk:
+
+=====================================================  ==================
+Observation                                            Paper value
+=====================================================  ==================
+Read + process one SR-tree chunk                       ~10 ms
+Process the largest BAG chunk (~1M descriptors)        ~1.8 s
+Read the chunk index (sequential)                      ~50 ms
+Completion, SR-tree, DQ, SMALL/MEDIUM/LARGE (Table 2)  45.0 / 31.3 / 25.2 s
+=====================================================  ==================
+
+Parameter choices
+-----------------
+* ``distance_time_s = 1.8e-6`` pins the giant-chunk observation exactly
+  (1e6 descriptors -> 1.8 s of CPU).
+* ``seek_time_s = 3 ms`` models the *short* seeks of a ranked chunk scan
+  (successive chunks are nearby file regions, not full-stroke seeks);
+  with 4.2 ms rotational latency and 40 MB/s transfer this reproduces the
+  whole SR-tree column of Table 2 to within ~2 %:
+
+  - SMALL:  4,747 chunks x max(io 9.6 ms, cpu 1.8 ms)  = 45.6 s (paper 45.0)
+  - MEDIUM: 2,672 chunks x max(io 11.5 ms, cpu 3.2 ms) = 30.7 s (paper 31.3)
+  - LARGE:  1,863 chunks x max(io 13.4 ms, cpu 4.6 ms) = 25.0 s (paper 25.2)
+
+:func:`verify_calibration` recomputes the anchor observations and is
+asserted by the test suite, so any drift in the cost models breaks loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..storage.pages import DEFAULT_PAGE_BYTES
+from .cpu_model import CpuModel
+from .disk_model import DiskModel
+from .pipeline import CostModel
+
+__all__ = ["PAPER_2005_COST_MODEL", "verify_calibration"]
+
+#: Bytes per descriptor record in the paper's layout.
+_RECORD_BYTES = 100
+
+#: The cost model used by every experiment unless overridden.
+PAPER_2005_COST_MODEL = CostModel(
+    disk=DiskModel(
+        seek_time_s=3.0e-3,
+        rotational_latency_s=4.2e-3,
+        transfer_rate_bytes_per_s=40e6,
+        page_bytes=DEFAULT_PAGE_BYTES,
+    ),
+    cpu=CpuModel(
+        distance_time_s=1.8e-6,
+        chunk_overhead_s=0.1e-3,
+        ranking_time_per_chunk_s=2.5e-6,
+    ),
+    overlap_io_cpu=True,
+)
+
+
+def _pages_for(n_bytes: int, page_bytes: int) -> int:
+    return -(-n_bytes // page_bytes)
+
+
+def verify_calibration(model: CostModel = PAPER_2005_COST_MODEL) -> Dict[str, float]:
+    """Recompute the paper's anchor observations under ``model``.
+
+    Returns the predicted values keyed by observation name; the test suite
+    asserts each against the paper's figure with a tolerance.
+    """
+    disk, cpu = model.disk, model.cpu
+    predictions: Dict[str, float] = {}
+
+    # 1. One typical SR-tree chunk read+process (paper: "about 10 ms").
+    #    Table 1 SMALL: 942 descriptors per chunk.
+    small_pages = _pages_for(942 * _RECORD_BYTES, disk.page_bytes)
+    predictions["sr_chunk_read_and_process_s"] = disk.random_read_time_s(
+        small_pages
+    ) + cpu.chunk_processing_time_s(942)
+
+    # 2. CPU on the largest BAG chunk (paper: "as much as 1.8 seconds").
+    predictions["giant_bag_chunk_cpu_s"] = cpu.chunk_processing_time_s(1_000_000)
+
+    # 3. Sequential read of the MEDIUM index file (paper: ~50 ms):
+    #    2,685 entries, 216 bytes each under our index layout, plus the
+    #    ranking pass over the entries.
+    index_bytes = 2685 * 216
+    predictions["index_read_s"] = disk.sequential_read_time_s(
+        index_bytes
+    ) + cpu.ranking_time_s(2685)
+
+    # 4. Table 2, SR-tree column, DQ workload: a completion run reads
+    #    essentially every chunk; with overlap each chunk costs
+    #    max(io, cpu).
+    for name, n_chunks, per_chunk in [
+        ("table2_sr_small_s", 4747, 942),
+        ("table2_sr_medium_s", 2672, 1719),
+        ("table2_sr_large_s", 1863, 2497),
+    ]:
+        pages = _pages_for(per_chunk * _RECORD_BYTES, disk.page_bytes)
+        io = disk.random_read_time_s(pages)
+        cpu_t = cpu.chunk_processing_time_s(per_chunk)
+        predictions[name] = n_chunks * max(io, cpu_t)
+
+    return predictions

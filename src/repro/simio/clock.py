@@ -1,0 +1,71 @@
+"""Clocks.
+
+Search timing can run against either a :class:`SimulatedClock` (advanced
+explicitly by the cost models — deterministic, hardware-independent) or a
+:class:`WallClock` (real ``perf_counter`` time — used for sanity checks of
+the simulation and for pytest-benchmark runs).
+
+Both expose the same two-method protocol, so the search code is agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "SimulatedClock", "WallClock"]
+
+
+class Clock(Protocol):
+    """Minimal clock protocol used by the search."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...  # pragma: no cover - protocol stub
+
+    def advance(self, seconds: float) -> None:
+        """Account for ``seconds`` of simulated work (no-op on wall clocks)."""
+        ...  # pragma: no cover - protocol stub
+
+
+class SimulatedClock:
+    """A clock that moves only when told to.
+
+    Time never goes backwards; ``advance`` with a negative delta is a
+    programming error and raises.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("simulated time starts at or after zero")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds}")
+        self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump forward to an absolute timestamp (used by the pipeline
+        simulator, whose completion times are absolute)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move simulated time backwards ({timestamp} < {self._now})"
+            )
+        self._now = float(timestamp)
+
+
+class WallClock:
+    """Real elapsed time relative to construction."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._start
+
+    def advance(self, seconds: float) -> None:
+        """Wall time advances on its own; simulated work is ignored."""

@@ -1,0 +1,108 @@
+"""Static SR-tree construction (the paper's build path).
+
+Section 2: "We used the static build method, as it was much faster and
+guaranteed uniform leaf size.  Unfortunately, it requires the collection to
+fit in memory."
+
+The builder is a sort-tile-recursive variant specialized for uniform
+leaves: a row set is recursively cut along its widest-variance dimension,
+with the cut position snapped to a multiple of the leaf capacity, until
+groups fit in one leaf.  Every leaf therefore holds exactly
+``leaf_capacity`` descriptors except the single trailing remainder leaf —
+the "roundish chunks of uniform physical size" the paper describes.
+
+Internal levels are assembled bottom-up by grouping consecutive nodes
+(which the recursive sort keeps spatially coherent), yielding a complete
+SR-tree whose exact NN search can cross-check the dynamic tree.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .node import SRNode
+from .tree import SRTree
+
+__all__ = ["partition_rows_uniform", "bulk_load"]
+
+
+def partition_rows_uniform(vectors: np.ndarray, leaf_capacity: int) -> List[np.ndarray]:
+    """Partition row indices into uniform, spatially coherent groups.
+
+    Recursively splits on the dimension of largest variance; the cut point
+    is the largest multiple of ``leaf_capacity`` at or below the median, so
+    the left half always carries whole leaves and exactly one group in the
+    whole partition may be smaller than ``leaf_capacity``.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise ValueError("need a non-empty (n, d) matrix")
+    if leaf_capacity < 1:
+        raise ValueError("leaf capacity must be at least 1")
+
+    groups: List[np.ndarray] = []
+
+    def recurse(rows: np.ndarray) -> None:
+        n = rows.shape[0]
+        if n <= leaf_capacity:
+            groups.append(rows)
+            return
+        axis = int(np.argmax(vectors[rows].var(axis=0)))
+        order = rows[np.argsort(vectors[rows, axis], kind="stable")]
+        n_leaves = -(-n // leaf_capacity)  # leaves this group still needs
+        left_leaves = n_leaves // 2
+        cut = left_leaves * leaf_capacity
+        recurse(order[:cut])
+        recurse(order[cut:])
+
+    recurse(np.arange(vectors.shape[0], dtype=np.intp))
+    return groups
+
+
+def bulk_load(
+    vectors: np.ndarray,
+    leaf_capacity: int,
+    internal_capacity: int = 16,
+) -> SRTree:
+    """Build a complete SR-tree statically from an in-memory matrix."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    tree = SRTree(
+        dimensions=vectors.shape[1],
+        leaf_capacity=leaf_capacity,
+        internal_capacity=internal_capacity,
+    )
+    # Install the backing matrix directly — the static build owns it.
+    tree._buffer = vectors.copy()
+    tree._size = vectors.shape[0]
+
+    groups = partition_rows_uniform(vectors, leaf_capacity)
+    level: List[SRNode] = []
+    for rows in groups:
+        leaf = SRNode(is_leaf=True, dimensions=vectors.shape[1])
+        leaf.rows = [int(r) for r in rows]
+        leaf.refresh_summary(tree.vectors)
+        level.append(leaf)
+
+    while len(level) > 1:
+        parents: List[SRNode] = []
+        for start in range(0, len(level), internal_capacity):
+            parent = SRNode(is_leaf=False, dimensions=vectors.shape[1])
+            parent.children = level[start : start + internal_capacity]
+            parent.refresh_summary(tree.vectors)
+            parents.append(parent)
+        # Avoid a lone single-child trailing parent: fold its child into
+        # the predecessor when the predecessor has room.
+        if (
+            len(parents) >= 2
+            and len(parents[-1].children) == 1
+            and len(parents[-2].children) < internal_capacity
+        ):
+            lone = parents.pop()
+            parents[-1].children.extend(lone.children)
+            parents[-1].refresh_summary(tree.vectors)
+        level = parents
+
+    tree.root = level[0]
+    return tree

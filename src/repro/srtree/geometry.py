@@ -1,0 +1,153 @@
+"""Geometric primitives of the SR-tree.
+
+The SR-tree (Katayama & Satoh, SIGMOD 1997) is the "Sphere/Rectangle tree":
+every node region is the *intersection* of a bounding sphere and a bounding
+rectangle.  Spheres give tight distance bounds for high-dimensional,
+centroid-clustered data; rectangles bound the region's volume.  Distance
+lower bounds for the search take the max of the two primitives' bounds,
+which is what makes the combined region strictly better than either alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Rect", "Sphere", "min_dist_rect", "max_dist_rect"]
+
+
+def min_dist_rect(query: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> float:
+    """Euclidean distance from a point to an axis-aligned rectangle (0 inside)."""
+    below = np.maximum(lows - query, 0.0)
+    above = np.maximum(query - highs, 0.0)
+    gap = np.maximum(below, above)
+    return float(np.sqrt(np.dot(gap, gap)))
+
+
+def max_dist_rect(query: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> float:
+    """Distance from a point to the farthest corner of a rectangle."""
+    far = np.maximum(np.abs(query - lows), np.abs(query - highs))
+    return float(np.sqrt(np.dot(far, far)))
+
+
+@dataclasses.dataclass
+class Rect:
+    """Axis-aligned minimum bounding rectangle."""
+
+    lows: np.ndarray
+    highs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.lows = np.asarray(self.lows, dtype=np.float64)
+        self.highs = np.asarray(self.highs, dtype=np.float64)
+        if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
+            raise ValueError("rect bounds must be matching 1-D arrays")
+        if np.any(self.lows > self.highs):
+            raise ValueError("rect has low > high in some dimension")
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "Rect":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("need a non-empty (n, d) point matrix")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @classmethod
+    def union_of(cls, rects: Sequence["Rect"]) -> "Rect":
+        if not rects:
+            raise ValueError("union of zero rects is undefined")
+        lows = np.min(np.stack([r.lows for r in rects]), axis=0)
+        highs = np.max(np.stack([r.highs for r in rects]), axis=0)
+        return cls(lows, highs)
+
+    @property
+    def dimensions(self) -> int:
+        return self.lows.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lows + self.highs) / 2.0
+
+    def extents(self) -> np.ndarray:
+        """Side length per dimension."""
+        return self.highs - self.lows
+
+    def contains_point(self, point: np.ndarray, eps: float = 1e-9) -> bool:
+        point = np.asarray(point, dtype=np.float64)
+        return bool(
+            np.all(point >= self.lows - eps) and np.all(point <= self.highs + eps)
+        )
+
+    def contains_rect(self, other: "Rect", eps: float = 1e-9) -> bool:
+        return bool(
+            np.all(other.lows >= self.lows - eps)
+            and np.all(other.highs <= self.highs + eps)
+        )
+
+    def min_dist(self, query: np.ndarray) -> float:
+        return min_dist_rect(np.asarray(query, dtype=np.float64), self.lows, self.highs)
+
+    def max_dist(self, query: np.ndarray) -> float:
+        return max_dist_rect(np.asarray(query, dtype=np.float64), self.lows, self.highs)
+
+    def expanded_to(self, point: np.ndarray) -> "Rect":
+        point = np.asarray(point, dtype=np.float64)
+        return Rect(np.minimum(self.lows, point), np.maximum(self.highs, point))
+
+
+@dataclasses.dataclass
+class Sphere:
+    """Bounding sphere: center plus radius."""
+
+    center: np.ndarray
+    radius: float
+
+    def __post_init__(self) -> None:
+        self.center = np.asarray(self.center, dtype=np.float64)
+        if self.center.ndim != 1:
+            raise ValueError("sphere center must be a 1-D vector")
+        if self.radius < 0:
+            raise ValueError("sphere radius cannot be negative")
+        self.radius = float(self.radius)
+
+    @classmethod
+    def of_points(cls, points: np.ndarray, center: np.ndarray = None) -> "Sphere":
+        """Bounding sphere centered at the centroid (or a given center).
+
+        The SR-tree centers node spheres on the centroid of the underlying
+        points rather than computing a minimal enclosing sphere — the
+        centroid is cheap to maintain incrementally and serves as the
+        insertion target.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("need a non-empty (n, d) point matrix")
+        if center is None:
+            center = points.mean(axis=0)
+        center = np.asarray(center, dtype=np.float64)
+        diffs = points - center
+        radius = float(np.sqrt(np.einsum("ij,ij->i", diffs, diffs).max()))
+        return cls(center, radius)
+
+    @property
+    def dimensions(self) -> int:
+        return self.center.shape[0]
+
+    def min_dist(self, query: np.ndarray) -> float:
+        query = np.asarray(query, dtype=np.float64)
+        d = float(np.linalg.norm(query - self.center))
+        return max(0.0, d - self.radius)
+
+    def max_dist(self, query: np.ndarray) -> float:
+        query = np.asarray(query, dtype=np.float64)
+        return float(np.linalg.norm(query - self.center)) + self.radius
+
+    def contains_point(self, point: np.ndarray, eps: float = 1e-9) -> bool:
+        point = np.asarray(point, dtype=np.float64)
+        return float(np.linalg.norm(point - self.center)) <= self.radius * (1 + eps) + eps
+
+    def contains_sphere(self, other: "Sphere", eps: float = 1e-9) -> bool:
+        gap = float(np.linalg.norm(other.center - self.center)) + other.radius
+        return gap <= self.radius * (1 + eps) + eps

@@ -1,0 +1,125 @@
+"""SR-tree nodes.
+
+Every node summarizes its subtree with the SR-tree triple:
+
+* the **centroid** of all points below it (with their count, so parent
+  centroids are exact weighted means),
+* a **bounding sphere** centered on that centroid, and
+* a **bounding rectangle**.
+
+A node's region is the intersection of its sphere and rectangle;
+:meth:`SRNode.min_dist` takes the max of the two lower bounds, the key
+property the NN search prunes with.
+
+Leaves hold row positions into the backing vector matrix; internal nodes
+hold child nodes.  The matrix itself lives on the tree, not in the nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .geometry import Rect, Sphere
+
+__all__ = ["SRNode"]
+
+
+class SRNode:
+    """One SR-tree node (leaf or internal)."""
+
+    __slots__ = ("is_leaf", "rows", "children", "count", "centroid", "sphere", "rect")
+
+    def __init__(self, is_leaf: bool, dimensions: int):
+        self.is_leaf = is_leaf
+        self.rows: List[int] = []
+        self.children: List["SRNode"] = []
+        self.count = 0
+        self.centroid = np.zeros(dimensions, dtype=np.float64)
+        self.sphere: Optional[Sphere] = None
+        self.rect: Optional[Rect] = None
+
+    # -- summaries -----------------------------------------------------------
+
+    def refresh_summary(self, vectors: np.ndarray) -> None:
+        """Recompute count/centroid/sphere/rect from current contents.
+
+        ``vectors`` is the tree's backing ``(n, d)`` matrix.  For internal
+        nodes the children's summaries must already be up to date.
+
+        The sphere radius follows the SR-tree: centered on the centroid and
+        sized to the smaller of (a) the farthest reach of the child
+        *spheres* and (b) the farthest reach of the child *rectangles* —
+        both upper-bound the farthest point, and taking the min keeps the
+        sphere tight.
+        """
+        if self.is_leaf:
+            if not self.rows:
+                raise ValueError("cannot summarize an empty leaf")
+            points = np.asarray(vectors[self.rows], dtype=np.float64)
+            self.count = points.shape[0]
+            self.centroid = points.mean(axis=0)
+            self.sphere = Sphere.of_points(points, center=self.centroid)
+            self.rect = Rect.of_points(points)
+            return
+
+        if not self.children:
+            raise ValueError("cannot summarize an internal node with no children")
+        counts = np.asarray([c.count for c in self.children], dtype=np.float64)
+        centroids = np.stack([c.centroid for c in self.children])
+        self.count = int(counts.sum())
+        self.centroid = (centroids * counts[:, np.newaxis]).sum(axis=0) / counts.sum()
+        self.rect = Rect.union_of([c.rect for c in self.children])
+
+        sphere_reach = max(
+            float(np.linalg.norm(c.centroid - self.centroid))
+            + (c.sphere.radius if c.sphere else 0.0)
+            for c in self.children
+        )
+        rect_reach = max(c.rect.max_dist(self.centroid) for c in self.children)
+        self.sphere = Sphere(self.centroid, min(sphere_reach, rect_reach))
+
+    # -- distances -------------------------------------------------------------
+
+    def min_dist(self, query: np.ndarray) -> float:
+        """Lower bound on the distance from ``query`` to any point below.
+
+        The SR-tree bound: max of the sphere's and the rectangle's lower
+        bounds (the region is their intersection).
+        """
+        if self.sphere is None or self.rect is None:
+            raise ValueError("node summary not computed yet")
+        return max(self.sphere.min_dist(query), self.rect.min_dist(query))
+
+    def max_dist(self, query: np.ndarray) -> float:
+        """Upper bound on the distance to the farthest point below."""
+        if self.sphere is None or self.rect is None:
+            raise ValueError("node summary not computed yet")
+        return min(self.sphere.max_dist(query), self.rect.max_dist(query))
+
+    # -- structure ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows) if self.is_leaf else len(self.children)
+
+    def depth(self) -> int:
+        """Levels below (and including) this node; a leaf has depth 1."""
+        node = self
+        levels = 1
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def iter_leaves(self):
+        """Yield every leaf under this node, left to right."""
+        if self.is_leaf:
+            yield self
+            return
+        for child in self.children:
+            yield from child.iter_leaves()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"SRNode({kind}, fanout={len(self)}, count={self.count})"

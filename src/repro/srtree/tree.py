@@ -1,0 +1,286 @@
+"""Dynamic SR-tree: insertion, node splitting, exact NN search.
+
+The paper adapted Katayama & Satoh's SR-tree with two small changes: a
+parameter controlling leaf size, and a method generating one chunk per leaf
+(section 2).  The paper built its chunk indexes with the *static* build
+(see :mod:`repro.srtree.bulk_load`); the dynamic tree here completes the
+substrate — an incremental insert path and an exact k-NN search used to
+cross-check ground truth and to validate the bulk loader's structures.
+
+Design choices follow the SR/SS-tree lineage:
+
+* **Choose-subtree**: descend into the child whose centroid is nearest to
+  the new point (SS-tree rule, kept by the SR-tree).
+* **Split**: pick the coordinate axis with the highest variance among the
+  entries' centroids, sort along it, and cut at the position (respecting a
+  40 % minimum fill) that minimizes total variance of the two groups.
+* **Search**: best-first branch and bound on ``min_dist``, the max of the
+  sphere and rectangle lower bounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.neighbors import NeighborSet
+from .node import SRNode
+
+__all__ = ["SRTree"]
+
+
+class SRTree:
+    """An SR-tree over a growing matrix of points.
+
+    Parameters
+    ----------
+    dimensions:
+        Dimensionality of the indexed space.
+    leaf_capacity:
+        Maximum points per leaf — the paper's added knob ("a parameter to
+        control the size of the leaves").
+    internal_capacity:
+        Maximum children per internal node.
+    min_fill:
+        Minimum fraction of capacity per node after a split.
+    """
+
+    def __init__(
+        self,
+        dimensions: int,
+        leaf_capacity: int = 64,
+        internal_capacity: int = 16,
+        min_fill: float = 0.4,
+    ):
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        if leaf_capacity < 2 or internal_capacity < 2:
+            raise ValueError("capacities must be at least 2")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        self.dimensions = dimensions
+        self.leaf_capacity = leaf_capacity
+        self.internal_capacity = internal_capacity
+        self.min_fill = min_fill
+        # Amortized-growth backing buffer; _vectors is the live view.
+        self._buffer = np.empty((16, dimensions), dtype=np.float64)
+        self._size = 0
+        self.root: Optional[SRNode] = None
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def _vectors(self) -> np.ndarray:
+        return self._buffer[: self._size]
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Backing point matrix (row i = point inserted i-th)."""
+        return self._vectors
+
+    def _append_vector(self, point: np.ndarray) -> int:
+        if self._size == self._buffer.shape[0]:
+            grown = np.empty((self._buffer.shape[0] * 2, self.dimensions), dtype=np.float64)
+            grown[: self._size] = self._buffer[: self._size]
+            self._buffer = grown
+        self._buffer[self._size] = point
+        self._size += 1
+        return self._size - 1
+
+    def __len__(self) -> int:
+        return self.root.count if self.root is not None else 0
+
+    def height(self) -> int:
+        return self.root.depth() if self.root is not None else 0
+
+    # -- insertion ----------------------------------------------------------------
+
+    def insert(self, point: np.ndarray) -> int:
+        """Insert one point; returns its row number."""
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if point.shape[0] != self.dimensions:
+            raise ValueError(
+                f"point has {point.shape[0]} dims, tree has {self.dimensions}"
+            )
+        row = self._append_vector(point)
+
+        if self.root is None:
+            self.root = SRNode(is_leaf=True, dimensions=self.dimensions)
+            self.root.rows.append(row)
+            self.root.refresh_summary(self._vectors)
+            return row
+
+        split = self._insert_into(self.root, row, point)
+        if split is not None:
+            old_root = self.root
+            new_root = SRNode(is_leaf=False, dimensions=self.dimensions)
+            new_root.children = [old_root, split]
+            new_root.refresh_summary(self._vectors)
+            self.root = new_root
+        return row
+
+    def extend(self, points: np.ndarray) -> None:
+        """Insert many points, one at a time."""
+        for point in np.asarray(points, dtype=np.float64):
+            self.insert(point)
+
+    def _insert_into(
+        self, node: SRNode, row: int, point: np.ndarray
+    ) -> Optional[SRNode]:
+        """Recursive insert; returns a sibling node if ``node`` split."""
+        if node.is_leaf:
+            node.rows.append(row)
+            if len(node.rows) > self.leaf_capacity:
+                return self._split_leaf(node)
+            node.refresh_summary(self._vectors)
+            return None
+
+        child = self._choose_subtree(node, point)
+        new_sibling = self._insert_into(child, row, point)
+        if new_sibling is not None:
+            node.children.append(new_sibling)
+            if len(node.children) > self.internal_capacity:
+                return self._split_internal(node)
+        node.refresh_summary(self._vectors)
+        return None
+
+    def _choose_subtree(self, node: SRNode, point: np.ndarray) -> SRNode:
+        """SS-tree rule: the child whose centroid is closest to the point."""
+        centroids = np.stack([c.centroid for c in node.children])
+        diffs = centroids - point
+        d2 = np.einsum("ij,ij->i", diffs, diffs)
+        return node.children[int(np.argmin(d2))]
+
+    # -- splitting -------------------------------------------------------------------
+
+    def _split_positions(self, coords: np.ndarray, capacity: int) -> Tuple[np.ndarray, int]:
+        """Sort order along the split axis and the best cut position.
+
+        The cut minimizes the summed variance of the two groups over all
+        positions that respect the minimum fill.
+        """
+        order = np.argsort(coords, kind="stable")
+        n = coords.shape[0]
+        min_count = max(1, int(math.ceil(capacity * self.min_fill)))
+        best_cut, best_score = None, math.inf
+        for cut in range(min_count, n - min_count + 1):
+            left = coords[order[:cut]]
+            right = coords[order[cut:]]
+            score = left.var() * left.size + right.var() * right.size
+            if score < best_score:
+                best_score, best_cut = score, cut
+        if best_cut is None:  # pathological capacity/min_fill combination
+            best_cut = n // 2
+        return order, best_cut
+
+    def _split_axis(self, centroids: np.ndarray) -> int:
+        """Axis of maximum variance among entry centroids."""
+        return int(np.argmax(centroids.var(axis=0)))
+
+    def _split_leaf(self, node: SRNode) -> SRNode:
+        points = np.asarray(self._vectors[node.rows], dtype=np.float64)
+        axis = self._split_axis(points)
+        order, cut = self._split_positions(points[:, axis], self.leaf_capacity)
+        rows = [node.rows[i] for i in order]
+        sibling = SRNode(is_leaf=True, dimensions=self.dimensions)
+        node.rows = rows[:cut]
+        sibling.rows = rows[cut:]
+        node.refresh_summary(self._vectors)
+        sibling.refresh_summary(self._vectors)
+        return sibling
+
+    def _split_internal(self, node: SRNode) -> SRNode:
+        centroids = np.stack([c.centroid for c in node.children])
+        axis = self._split_axis(centroids)
+        order, cut = self._split_positions(centroids[:, axis], self.internal_capacity)
+        children = [node.children[i] for i in order]
+        sibling = SRNode(is_leaf=False, dimensions=self.dimensions)
+        node.children = children[:cut]
+        sibling.children = children[cut:]
+        node.refresh_summary(self._vectors)
+        sibling.refresh_summary(self._vectors)
+        return sibling
+
+    # -- search -------------------------------------------------------------------------
+
+    def nn_search(self, query: np.ndarray, k: int = 1) -> List[Tuple[float, int]]:
+        """Exact k nearest neighbors as ``(distance, row)`` pairs, best first.
+
+        Best-first branch and bound: nodes are visited in order of their
+        ``min_dist`` and pruned once that bound exceeds the current k-th
+        distance, so the result equals a linear scan's.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dimensions:
+            raise ValueError("query dimensionality mismatch")
+        if self.root is None:
+            return []
+        neighbors = NeighborSet(k)
+        counter = itertools.count()  # tie-breaker: heap entries stay comparable
+        frontier: List[Tuple[float, int, SRNode]] = [
+            (self.root.min_dist(query), next(counter), self.root)
+        ]
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if bound > neighbors.kth_distance:
+                break  # every remaining node is at least this far
+            if node.is_leaf:
+                points = np.asarray(self._vectors[node.rows], dtype=np.float64)
+                diffs = points - query
+                distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+                neighbors.update(distances, np.asarray(node.rows, dtype=np.int64))
+                continue
+            for child in node.children:
+                child_bound = child.min_dist(query)
+                if child_bound <= neighbors.kth_distance:
+                    heapq.heappush(frontier, (child_bound, next(counter), child))
+        return [(n.distance, n.descriptor_id) for n in neighbors.sorted()]
+
+    # -- invariants -----------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``AssertionError`` on any violated structural invariant."""
+        if self.root is None:
+            return
+        assert self.root.count == self._vectors.shape[0], "root count drifted"
+        seen: List[int] = []
+        self._validate_node(self.root, is_root=True, seen=seen)
+        assert sorted(seen) == list(range(self._vectors.shape[0])), (
+            "leaves do not partition the inserted rows"
+        )
+        depths = {leaf_depth for leaf_depth in self._leaf_depths(self.root, 1)}
+        assert len(depths) == 1, f"leaves at multiple depths: {depths}"
+
+    def _leaf_depths(self, node: SRNode, depth: int):
+        if node.is_leaf:
+            yield depth
+        else:
+            for child in node.children:
+                yield from self._leaf_depths(child, depth + 1)
+
+    def _validate_node(self, node: SRNode, is_root: bool, seen: List[int]) -> None:
+        if node.is_leaf:
+            assert node.rows, "empty leaf"
+            assert len(node.rows) <= self.leaf_capacity, "leaf over capacity"
+            seen.extend(node.rows)
+            points = self._vectors[node.rows]
+            for point in points:
+                assert node.rect.contains_point(point), "point escapes leaf rect"
+                assert node.sphere.contains_point(point), "point escapes leaf sphere"
+            return
+        assert node.children, "empty internal node"
+        assert len(node.children) <= self.internal_capacity, "node over capacity"
+        if not is_root:
+            min_count = int(math.ceil(self.internal_capacity * self.min_fill))
+            # Splits guarantee min fill; subsequent inserts only add entries.
+            assert len(node.children) >= 1, "underfull internal node"
+        count = 0
+        for child in node.children:
+            assert node.rect.contains_rect(child.rect), "child rect escapes parent"
+            count += child.count
+            self._validate_node(child, is_root=False, seen=seen)
+        assert count == node.count, "internal count drifted"

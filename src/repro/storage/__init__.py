@@ -1,0 +1,39 @@
+"""On-disk layout of the chunk index (paper section 4.2).
+
+Two files make up a chunk index:
+
+* the **chunk file** (:mod:`repro.storage.chunk_file`) — descriptors grouped
+  by chunk, each chunk padded to whole disk pages, chunks stored
+  sequentially;
+* the **index file** (:mod:`repro.storage.index_file`) — one entry per chunk
+  holding its centroid, minimum bounding radius, and page extent, in the
+  same order as the chunk file.
+
+:mod:`repro.storage.pages` defines the shared page geometry and
+:mod:`repro.storage.records` the paper's 100-byte descriptor record codec.
+"""
+
+from .chunk_file import ChunkExtent, ChunkFileReader, ChunkFileWriter
+from .collection_file import (
+    COLLECTION_MAGIC,
+    read_collection_file,
+    write_collection_file,
+)
+from .index_file import index_file_bytes, read_index_file, write_index_file
+from .pages import DEFAULT_PAGE_BYTES, PageGeometry
+from .records import RecordCodec
+
+__all__ = [
+    "ChunkExtent",
+    "COLLECTION_MAGIC",
+    "read_collection_file",
+    "write_collection_file",
+    "ChunkFileReader",
+    "ChunkFileWriter",
+    "index_file_bytes",
+    "read_index_file",
+    "write_index_file",
+    "DEFAULT_PAGE_BYTES",
+    "PageGeometry",
+    "RecordCodec",
+]

@@ -1,0 +1,150 @@
+"""The chunk file: descriptors grouped by chunk, padded to full pages.
+
+Paper section 4.2: "The chunk file holds the descriptors computed over the
+whole image collection but these descriptors are grouped according to the
+specific chunk-forming strategy.  All the descriptors belonging to one
+chunk are stored together on disk and the chunks are stored sequentially.
+The chunks are padded to occupy full disk pages."
+
+The writer streams chunks in order, returning the page extent of each so
+the caller can fill in :class:`~repro.core.chunk.ChunkMeta`.  The reader
+fetches one chunk's pages and decodes the records, exactly the access the
+search algorithm performs per ranked chunk.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import BinaryIO, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .pages import PageGeometry
+from .records import RecordCodec
+
+__all__ = ["ChunkFileWriter", "ChunkFileReader", "ChunkExtent"]
+
+PathOrFile = Union[str, os.PathLike, BinaryIO]
+
+
+class ChunkExtent(Tuple[int, int, int]):
+    """``(page_offset, page_count, n_descriptors)`` for one written chunk."""
+
+    __slots__ = ()
+
+    def __new__(cls, page_offset: int, page_count: int, n_descriptors: int):
+        return tuple.__new__(cls, (int(page_offset), int(page_count), int(n_descriptors)))
+
+    @property
+    def page_offset(self) -> int:
+        return self[0]
+
+    @property
+    def page_count(self) -> int:
+        return self[1]
+
+    @property
+    def n_descriptors(self) -> int:
+        return self[2]
+
+
+class ChunkFileWriter:
+    """Sequentially writes chunks, padding each to a page boundary."""
+
+    def __init__(
+        self,
+        target: PathOrFile,
+        dimensions: int,
+        geometry: Optional[PageGeometry] = None,
+    ):
+        self._geometry = geometry or PageGeometry()
+        self._codec = RecordCodec(dimensions)
+        self._owns_file = isinstance(target, (str, os.PathLike))
+        self._file: BinaryIO = (
+            open(target, "wb") if self._owns_file else target  # type: ignore[arg-type]
+        )
+        self._next_page = 0
+        self._closed = False
+        self.extents: List[ChunkExtent] = []
+
+    @property
+    def geometry(self) -> PageGeometry:
+        return self._geometry
+
+    def write_chunk(self, ids: np.ndarray, vectors: np.ndarray) -> ChunkExtent:
+        """Append one chunk; returns its page extent in the file."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        payload = self._codec.encode(ids, vectors)
+        padding = self._geometry.padding_for(len(payload))
+        self._file.write(payload)
+        if padding:
+            self._file.write(b"\x00" * padding)
+        pages = self._geometry.pages_for(len(payload))
+        extent = ChunkExtent(self._next_page, pages, int(np.asarray(ids).shape[0]))
+        self._next_page += pages
+        self.extents.append(extent)
+        return extent
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "ChunkFileWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ChunkFileReader:
+    """Random-access reads of whole chunks from a chunk file."""
+
+    def __init__(
+        self,
+        source: PathOrFile,
+        dimensions: int,
+        geometry: Optional[PageGeometry] = None,
+    ):
+        self._geometry = geometry or PageGeometry()
+        self._codec = RecordCodec(dimensions)
+        self._owns_file = isinstance(source, (str, os.PathLike))
+        self._file: BinaryIO = (
+            open(source, "rb") if self._owns_file else source  # type: ignore[arg-type]
+        )
+
+    @property
+    def geometry(self) -> PageGeometry:
+        return self._geometry
+
+    def read_chunk(self, extent: ChunkExtent) -> Tuple[np.ndarray, np.ndarray]:
+        """Read one chunk's pages; returns ``(ids, vectors)``.
+
+        Only the leading ``n_descriptors`` records are decoded — the page
+        padding is read (it is transferred from disk either way) but
+        discarded.
+        """
+        self._file.seek(self._geometry.byte_offset(extent.page_offset))
+        raw = self._file.read(extent.page_count * self._geometry.page_bytes)
+        needed = extent.n_descriptors * self._codec.record_bytes
+        if len(raw) < needed:
+            raise IOError(
+                f"chunk file truncated: wanted {needed} bytes at page "
+                f"{extent.page_offset}, got {len(raw)}"
+            )
+        return self._codec.decode(raw[:needed])
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "ChunkFileReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,84 @@
+"""The raw descriptor collection file.
+
+Paper section 4.1: "Images belonging to the collection are described
+off-line and typically stored sequentially in a single file."  This module
+implements that file: a small header followed by the 100-byte descriptor
+records (:mod:`repro.storage.records`), with image ids stored as a second
+record stream so the image mapping survives round trips.
+
+Layout::
+
+    magic    : 8 bytes  b"EFF2COLL"
+    version  : uint32
+    dims     : uint32
+    count    : uint64
+    records  : count x [id:int32][vector:float32 x d]
+    imageids : count x int64
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from ..core.dataset import DescriptorCollection
+from .records import RecordCodec
+
+__all__ = ["write_collection_file", "read_collection_file", "COLLECTION_MAGIC"]
+
+COLLECTION_MAGIC = b"EFF2COLL"
+_VERSION = 1
+_HEADER = struct.Struct("<8sIIQ")
+
+PathOrFile = Union[str, os.PathLike, BinaryIO]
+
+
+def write_collection_file(target: PathOrFile, collection: DescriptorCollection) -> None:
+    """Serialize a collection to the sequential single-file format."""
+    codec = RecordCodec(collection.dimensions)
+    header = _HEADER.pack(
+        COLLECTION_MAGIC, _VERSION, collection.dimensions, len(collection)
+    )
+    owns = isinstance(target, (str, os.PathLike))
+    stream: BinaryIO = open(target, "wb") if owns else target  # type: ignore[arg-type]
+    try:
+        stream.write(header)
+        stream.write(codec.encode(collection.ids, collection.vectors))
+        stream.write(
+            np.ascontiguousarray(collection.image_ids, dtype="<i8").tobytes()
+        )
+        stream.flush()
+    finally:
+        if owns:
+            stream.close()
+
+
+def read_collection_file(source: PathOrFile) -> DescriptorCollection:
+    """Load a collection previously written by :func:`write_collection_file`."""
+    owns = isinstance(source, (str, os.PathLike))
+    stream: BinaryIO = open(source, "rb") if owns else source  # type: ignore[arg-type]
+    try:
+        raw_header = stream.read(_HEADER.size)
+        if len(raw_header) != _HEADER.size:
+            raise IOError("collection file too short for header")
+        magic, version, dimensions, count = _HEADER.unpack(raw_header)
+        if magic != COLLECTION_MAGIC:
+            raise IOError(f"bad collection file magic {magic!r}")
+        if version != _VERSION:
+            raise IOError(f"unsupported collection file version {version}")
+        codec = RecordCodec(dimensions)
+        payload = stream.read(count * codec.record_bytes)
+        if len(payload) != count * codec.record_bytes:
+            raise IOError("collection file truncated (records)")
+        ids, vectors = codec.decode(payload)
+        raw_images = stream.read(count * 8)
+        if len(raw_images) != count * 8:
+            raise IOError("collection file truncated (image ids)")
+        image_ids = np.frombuffer(raw_images, dtype="<i8").astype(np.int64)
+        return DescriptorCollection(vectors=vectors, ids=ids, image_ids=image_ids)
+    finally:
+        if owns:
+            stream.close()

@@ -1,0 +1,127 @@
+"""The index file: one fixed-size entry per chunk.
+
+Paper section 4.2: "Each entry of the index stores the coordinates of the
+centroid of each chunk and the radius of the chunk, as well as its location
+in the chunk file.  The order of the entries in the index is identical to
+the order of the chunks in the chunk file."
+
+Binary layout
+-------------
+Header (32 bytes)::
+
+    magic   : 8 bytes  b"EFF2CIDX"
+    version : uint32
+    dims    : uint32
+    n_chunks: uint64
+    reserved: 8 bytes
+
+Entry (``8 * d + 8 + 8 + 4 + 4`` bytes each)::
+
+    centroid    : float64 x d
+    radius      : float64
+    page_offset : uint64
+    page_count  : uint32
+    n_descriptors : uint32
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import BinaryIO, List, Sequence, Union
+
+import numpy as np
+
+from ..core.chunk import ChunkMeta
+
+__all__ = ["write_index_file", "read_index_file", "index_file_bytes", "MAGIC"]
+
+MAGIC = b"EFF2CIDX"
+VERSION = 1
+_HEADER = struct.Struct("<8sIIQ8s")
+
+PathOrFile = Union[str, os.PathLike, BinaryIO]
+
+
+def _entry_dtype(dimensions: int) -> np.dtype:
+    return np.dtype(
+        [
+            ("centroid", "<f8", (dimensions,)),
+            ("radius", "<f8"),
+            ("page_offset", "<u8"),
+            ("page_count", "<u4"),
+            ("n_descriptors", "<u4"),
+        ]
+    )
+
+
+def index_file_bytes(n_chunks: int, dimensions: int) -> int:
+    """Total size of an index file — this is what the disk model charges
+    for the sequential index read at the start of every query."""
+    return _HEADER.size + n_chunks * _entry_dtype(dimensions).itemsize
+
+
+def write_index_file(target: PathOrFile, metas: Sequence[ChunkMeta]) -> None:
+    """Serialize chunk metadata, preserving chunk order."""
+    if not metas:
+        raise ValueError("cannot write an empty index file")
+    dimensions = metas[0].centroid.shape[0]
+    entries = np.empty(len(metas), dtype=_entry_dtype(dimensions))
+    for i, meta in enumerate(metas):
+        if meta.chunk_id != i:
+            raise ValueError(
+                f"index entries must be in chunk order: entry {i} has "
+                f"chunk_id {meta.chunk_id}"
+            )
+        if meta.centroid.shape[0] != dimensions:
+            raise ValueError("all centroids must share one dimensionality")
+        entries[i]["centroid"] = meta.centroid
+        entries[i]["radius"] = meta.radius
+        entries[i]["page_offset"] = meta.page_offset
+        entries[i]["page_count"] = meta.page_count
+        entries[i]["n_descriptors"] = meta.n_descriptors
+
+    header = _HEADER.pack(MAGIC, VERSION, dimensions, len(metas), b"\x00" * 8)
+    owns = isinstance(target, (str, os.PathLike))
+    stream: BinaryIO = open(target, "wb") if owns else target  # type: ignore[arg-type]
+    try:
+        stream.write(header)
+        stream.write(entries.tobytes())
+        stream.flush()
+    finally:
+        if owns:
+            stream.close()
+
+
+def read_index_file(source: PathOrFile) -> List[ChunkMeta]:
+    """Load chunk metadata back, in chunk order."""
+    owns = isinstance(source, (str, os.PathLike))
+    stream: BinaryIO = open(source, "rb") if owns else source  # type: ignore[arg-type]
+    try:
+        raw_header = stream.read(_HEADER.size)
+        if len(raw_header) != _HEADER.size:
+            raise IOError("index file too short for header")
+        magic, version, dimensions, n_chunks, _ = _HEADER.unpack(raw_header)
+        if magic != MAGIC:
+            raise IOError(f"bad index file magic {magic!r}")
+        if version != VERSION:
+            raise IOError(f"unsupported index file version {version}")
+        dtype = _entry_dtype(dimensions)
+        raw = stream.read(n_chunks * dtype.itemsize)
+        if len(raw) != n_chunks * dtype.itemsize:
+            raise IOError("index file truncated")
+        entries = np.frombuffer(raw, dtype=dtype)
+        return [
+            ChunkMeta(
+                chunk_id=i,
+                centroid=entries[i]["centroid"].copy(),
+                radius=float(entries[i]["radius"]),
+                n_descriptors=int(entries[i]["n_descriptors"]),
+                page_offset=int(entries[i]["page_offset"]),
+                page_count=int(entries[i]["page_count"]),
+            )
+            for i in range(n_chunks)
+        ]
+    finally:
+        if owns:
+            stream.close()

@@ -1,0 +1,53 @@
+"""Disk-page arithmetic.
+
+The paper's chunk file pads every chunk "to occupy full disk pages"
+(section 4.2) so that each chunk read is a whole number of page transfers.
+The simulated disk model charges I/O per page, so page geometry is shared
+between the storage layer and :mod:`repro.simio`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PageGeometry", "DEFAULT_PAGE_BYTES"]
+
+#: 8 KiB pages — the common unit for mid-2000s database storage managers.
+DEFAULT_PAGE_BYTES = 8192
+
+
+class PageGeometry:
+    """Fixed page size plus the padding helpers built on it."""
+
+    def __init__(self, page_bytes: int = DEFAULT_PAGE_BYTES):
+        if page_bytes <= 0:
+            raise ValueError(f"page size must be positive, got {page_bytes}")
+        self.page_bytes = int(page_bytes)
+
+    def pages_for(self, payload_bytes: int) -> int:
+        """Number of pages needed to hold ``payload_bytes`` (at least one)."""
+        if payload_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+        if payload_bytes == 0:
+            return 1
+        return -(-payload_bytes // self.page_bytes)  # ceiling division
+
+    def padded_size(self, payload_bytes: int) -> int:
+        """Bytes occupied after padding up to a full page boundary."""
+        return self.pages_for(payload_bytes) * self.page_bytes
+
+    def padding_for(self, payload_bytes: int) -> int:
+        """Bytes of padding appended after the payload."""
+        return self.padded_size(payload_bytes) - payload_bytes
+
+    def byte_offset(self, page_offset: int) -> int:
+        """File byte offset of a page number."""
+        if page_offset < 0:
+            raise ValueError("page offset cannot be negative")
+        return page_offset * self.page_bytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PageGeometry):
+            return NotImplemented
+        return self.page_bytes == other.page_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PageGeometry(page_bytes={self.page_bytes})"

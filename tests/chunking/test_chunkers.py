@@ -1,0 +1,128 @@
+"""Tests for the SR-tree, round-robin, random and hybrid chunkers."""
+
+import numpy as np
+import pytest
+
+from repro.chunking.hybrid import HybridChunker
+from repro.chunking.random_chunker import RandomChunker
+from repro.chunking.round_robin import RoundRobinChunker
+from repro.chunking.srtree_chunker import SRTreeChunker
+from repro.core.dataset import DescriptorCollection
+
+
+class TestSRTreeChunker:
+    def test_uniform_sizes(self, tiny_collection):
+        result = SRTreeChunker(leaf_capacity=16).form_chunks(tiny_collection)
+        result.validate()
+        sizes = result.chunk_set.sizes()
+        assert sizes.max() <= 16
+        assert (sizes != 16).sum() <= 1  # one remainder chunk at most
+
+    def test_no_outliers(self, tiny_collection):
+        result = SRTreeChunker(leaf_capacity=10).form_chunks(tiny_collection)
+        assert result.n_outliers == 0
+        assert result.retained is tiny_collection
+
+    def test_partition(self, tiny_collection):
+        result = SRTreeChunker(leaf_capacity=7).form_chunks(tiny_collection)
+        assert result.chunk_set.is_partition()
+
+    def test_spatial_locality_beats_round_robin(self, tiny_collection):
+        """SR chunks should have much smaller radii than round-robin
+        chunks of the same size — the whole point of the strategy."""
+        sr = SRTreeChunker(leaf_capacity=20).form_chunks(tiny_collection)
+        rr = RoundRobinChunker(n_chunks=3).form_chunks(tiny_collection)
+        assert sr.chunk_set.radii().mean() < 0.5 * rr.chunk_set.radii().mean()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SRTreeChunker(leaf_capacity=0)
+
+    def test_empty_collection(self):
+        with pytest.raises(ValueError):
+            SRTreeChunker(leaf_capacity=4).form_chunks(
+                DescriptorCollection.empty(3)
+            )
+
+    def test_build_info_recorded(self, tiny_collection):
+        result = SRTreeChunker(leaf_capacity=8).form_chunks(tiny_collection)
+        assert "build_seconds" in result.build_info
+        assert result.build_info["leaf_capacity"] == 8.0
+
+
+class TestRoundRobin:
+    def test_uniform_assignment(self, tiny_collection):
+        result = RoundRobinChunker(n_chunks=6).form_chunks(tiny_collection)
+        result.validate()
+        sizes = result.chunk_set.sizes()
+        assert sizes.max() - sizes.min() <= 1
+        assert len(result.chunk_set) == 6
+
+    def test_descriptor_i_in_chunk_i_mod_n(self, tiny_collection):
+        result = RoundRobinChunker(n_chunks=4).form_chunks(tiny_collection)
+        for c, chunk in enumerate(result.chunk_set):
+            assert all(int(r) % 4 == c for r in chunk.member_rows)
+
+    def test_more_chunks_than_descriptors(self):
+        col = DescriptorCollection.from_vectors(np.ones((3, 2)))
+        result = RoundRobinChunker(n_chunks=10).form_chunks(col)
+        assert len(result.chunk_set) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RoundRobinChunker(n_chunks=0)
+
+
+class TestRandomChunker:
+    def test_partition_and_balance(self, tiny_collection):
+        result = RandomChunker(n_chunks=5, seed=1).form_chunks(tiny_collection)
+        result.validate()
+        sizes = result.chunk_set.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_seed_determinism(self, tiny_collection):
+        a = RandomChunker(n_chunks=5, seed=1).form_chunks(tiny_collection)
+        b = RandomChunker(n_chunks=5, seed=1).form_chunks(tiny_collection)
+        for ca, cb in zip(a.chunk_set, b.chunk_set):
+            assert np.array_equal(ca.member_rows, cb.member_rows)
+
+    def test_different_seeds_differ(self, tiny_collection):
+        a = RandomChunker(n_chunks=5, seed=1).form_chunks(tiny_collection)
+        b = RandomChunker(n_chunks=5, seed=2).form_chunks(tiny_collection)
+        assert any(
+            not np.array_equal(ca.member_rows, cb.member_rows)
+            for ca, cb in zip(a.chunk_set, b.chunk_set)
+        )
+
+
+class TestHybridChunker:
+    def test_size_cap_enforced(self, small_synthetic):
+        chunker = HybridChunker(target_chunk_size=100, max_size_factor=1.25)
+        result = chunker.form_chunks(small_synthetic)
+        result.validate()
+        cap = int(np.ceil(100 * 1.25))
+        assert result.chunk_set.sizes().max() <= cap
+
+    def test_partition(self, small_synthetic):
+        result = HybridChunker(target_chunk_size=150).form_chunks(small_synthetic)
+        assert result.chunk_set.is_partition()
+
+    def test_locality_beats_random(self, small_synthetic):
+        hyb = HybridChunker(target_chunk_size=100).form_chunks(small_synthetic)
+        rnd = RandomChunker(n_chunks=hyb.n_chunks, seed=0).form_chunks(
+            small_synthetic
+        )
+        assert hyb.chunk_set.radii().mean() < rnd.chunk_set.radii().mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridChunker(target_chunk_size=0)
+        with pytest.raises(ValueError):
+            HybridChunker(target_chunk_size=10, max_size_factor=0.5)
+
+    def test_tiny_collection(self, tiny_collection):
+        result = HybridChunker(target_chunk_size=25, seed=3).form_chunks(
+            tiny_collection
+        )
+        result.validate()
+        assert result.chunk_set.total_descriptors() == len(tiny_collection)

@@ -1,0 +1,147 @@
+"""Tests for the AC-NN / PAC-NN / VA-BND approximation rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chunking.srtree_chunker import SRTreeChunker
+from repro.core.approx_rules import (
+    DistanceDistribution,
+    EpsilonApproximation,
+    PacApproximation,
+    estimate_epsilon,
+)
+from repro.core.chunk_index import build_chunk_index
+from repro.core.ground_truth import exact_knn
+from repro.core.search import ChunkSearcher
+from repro.core.stop_rules import SearchProgress
+
+
+def progress(**kwargs):
+    defaults = dict(
+        chunks_read=5,
+        elapsed_s=0.1,
+        neighbors_found=10,
+        kth_distance=1.0,
+        remaining_lower_bound=0.95,
+    )
+    defaults.update(kwargs)
+    return SearchProgress(**defaults)
+
+
+class TestEpsilonRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonApproximation(-0.1, 10)
+        with pytest.raises(ValueError):
+            EpsilonApproximation(0.1, 0)
+
+    def test_zero_epsilon_equals_exact_proof(self):
+        rule = EpsilonApproximation(0.0, 10)
+        # Exact proof: bound must exceed kth; 0.95 < 1.0 -> continue.
+        assert rule.check(progress()) is None
+        assert rule.check(progress(remaining_lower_bound=1.01)) is not None
+
+    def test_relaxation_stops_earlier(self):
+        rule = EpsilonApproximation(0.2, 10)
+        # 0.95 > 1.0 / 1.2 -> the relaxed proof fires.
+        assert rule.check(progress()) == "epsilon-approx(0.2)"
+
+    def test_waits_for_k_neighbors(self):
+        rule = EpsilonApproximation(0.5, 10)
+        assert rule.check(progress(neighbors_found=5)) is None
+
+    def test_infinite_kth_never_fires(self):
+        rule = EpsilonApproximation(0.5, 10)
+        assert rule.check(progress(kth_distance=math.inf)) is None
+
+    def test_guarantee_holds_end_to_end(self, tiny_collection):
+        """The returned k-th distance is within (1+eps) of the truth."""
+        chunking = SRTreeChunker(leaf_capacity=6).form_chunks(tiny_collection)
+        index = build_chunk_index(chunking.retained, chunking.chunk_set)
+        searcher = ChunkSearcher(index)
+        epsilon = 0.5
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            query = rng.standard_normal(4) * 4
+            result = searcher.search(
+                query, k=5, stop_rule=EpsilonApproximation(epsilon, 5)
+            )
+            got_kth = result.neighbors[-1].distance
+            truth = exact_knn(tiny_collection, query, 5)
+            rows = tiny_collection.rows_for_ids(truth)
+            true_kth = np.linalg.norm(
+                tiny_collection.vectors[rows[-1]].astype(float) - query
+            )
+            assert got_kth <= (1 + epsilon) * true_kth + 1e-9
+
+
+class TestDistanceDistribution:
+    def test_cdf_monotone_and_bounded(self, tiny_collection):
+        dist = DistanceDistribution.sample(tiny_collection, seed=1)
+        xs = np.linspace(0, 30, 50)
+        values = [dist.cdf(x) for x in xs]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert dist.cdf(-1.0) == 0.0
+        assert dist.cdf(1e9) == 1.0
+
+    def test_probability_any_within(self):
+        dist = DistanceDistribution(np.array([1.0, 2.0, 3.0, 4.0]))
+        # cdf(2.5) = 0.5; for 2 descriptors: 1 - 0.25 = 0.75.
+        assert dist.probability_any_within(2.5, 2) == pytest.approx(0.75)
+        assert dist.probability_any_within(2.5, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistanceDistribution(np.array([]))
+        with pytest.raises(ValueError):
+            DistanceDistribution(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            DistanceDistribution(np.array([np.inf]))
+
+
+class TestPacRule:
+    def test_for_index_constructor(self, tiny_collection):
+        chunking = SRTreeChunker(leaf_capacity=10).form_chunks(tiny_collection)
+        index = build_chunk_index(chunking.retained, chunking.chunk_set)
+        rule = PacApproximation.for_index(index, tiny_collection)
+        assert rule.total_descriptors == len(tiny_collection)
+
+    def test_stops_before_exact(self, tiny_collection):
+        """A permissive PAC rule reads no more chunks than exact search."""
+        chunking = SRTreeChunker(leaf_capacity=6).form_chunks(tiny_collection)
+        index = build_chunk_index(chunking.retained, chunking.chunk_set)
+        searcher = ChunkSearcher(index)
+        rule = PacApproximation.for_index(
+            index, tiny_collection, epsilon=0.5, delta=0.3
+        )
+        query = tiny_collection.vectors[0].astype(float)
+        exact = searcher.search(query, k=5)
+        pac = searcher.search(query, k=5, stop_rule=rule)
+        assert pac.chunks_read <= exact.chunks_read
+
+    def test_validation(self, tiny_collection):
+        dist = DistanceDistribution(np.array([1.0]))
+        with pytest.raises(ValueError):
+            PacApproximation(-1, 0.1, dist, 10, 5.0)
+        with pytest.raises(ValueError):
+            PacApproximation(0.1, 1.5, dist, 10, 5.0)
+        with pytest.raises(ValueError):
+            PacApproximation(0.1, 0.1, dist, 0, 5.0)
+
+
+class TestEstimateEpsilon:
+    def test_non_negative_and_reasonable(self, small_synthetic):
+        epsilon = estimate_epsilon(small_synthetic, k=10, seed=2)
+        assert 0.0 <= epsilon < 50.0
+
+    def test_too_small_collection_rejected(self, tiny_collection):
+        with pytest.raises(ValueError):
+            estimate_epsilon(tiny_collection, k=30)
+
+    def test_deterministic(self, small_synthetic):
+        a = estimate_epsilon(small_synthetic, k=5, seed=3)
+        b = estimate_epsilon(small_synthetic, k=5, seed=3)
+        assert a == b

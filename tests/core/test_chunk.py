@@ -1,0 +1,156 @@
+"""Tests for the chunk model and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.chunk import Chunk, ChunkMeta, ChunkSet, summarize_members
+from repro.core.dataset import DescriptorCollection
+
+
+class TestSummarize:
+    def test_centroid_and_radius(self):
+        vectors = np.array([[0.0, 0.0], [2.0, 0.0]])
+        centroid, radius = summarize_members(vectors)
+        np.testing.assert_allclose(centroid, [1.0, 0.0])
+        assert radius == pytest.approx(1.0)
+
+    def test_single_point_zero_radius(self):
+        centroid, radius = summarize_members(np.array([[3.0, 4.0]]))
+        assert radius == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_members(np.empty((0, 3)))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40), st.integers(1, 6)),
+            elements=st.floats(-50, 50),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_radius_covers_all_members(self, vectors):
+        centroid, radius = summarize_members(vectors)
+        dists = np.linalg.norm(vectors - centroid, axis=1)
+        assert np.all(dists <= radius + 1e-9)
+        # Minimality: the radius is attained by some member.
+        assert np.isclose(dists.max(), radius)
+
+
+class TestChunk:
+    def test_from_rows(self, tiny_collection):
+        chunk = Chunk.from_rows(tiny_collection, [0, 1, 2])
+        assert len(chunk) == 3
+        assert chunk.contains_all_members(tiny_collection)
+
+    def test_empty_rows_raise(self, tiny_collection):
+        with pytest.raises(ValueError):
+            Chunk.from_rows(tiny_collection, [])
+
+    def test_member_ids(self, tiny_collection):
+        chunk = Chunk.from_rows(tiny_collection, [5, 7])
+        assert list(chunk.member_ids(tiny_collection)) == [5, 7]
+
+
+class TestChunkMeta:
+    def make(self, **kwargs):
+        defaults = dict(
+            chunk_id=0,
+            centroid=np.zeros(3),
+            radius=1.0,
+            n_descriptors=10,
+            page_offset=0,
+            page_count=1,
+        )
+        defaults.update(kwargs)
+        return ChunkMeta(**defaults)
+
+    def test_min_distance_outside(self):
+        meta = self.make(centroid=np.array([0.0, 0.0, 0.0]), radius=1.0)
+        assert meta.min_distance(np.array([3.0, 0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_min_distance_inside_is_zero(self):
+        meta = self.make(radius=5.0)
+        assert meta.min_distance(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_centroid_distance(self):
+        meta = self.make()
+        assert meta.centroid_distance(np.array([0.0, 4.0, 3.0])) == pytest.approx(5.0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            self.make(n_descriptors=0)
+        with pytest.raises(ValueError):
+            self.make(radius=-1.0)
+        with pytest.raises(ValueError):
+            self.make(page_count=0)
+
+    def test_min_distance_lower_bounds_members(self, tiny_collection):
+        """The chunk lower bound never exceeds the true nearest member
+        distance — the property the completion proof relies on."""
+        chunk = Chunk.from_rows(tiny_collection, list(range(20)))
+        meta = self.make(
+            centroid=chunk.centroid, radius=chunk.radius, n_descriptors=20
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            query = rng.standard_normal(4) * 5
+            true_min = np.min(
+                np.linalg.norm(
+                    tiny_collection.vectors[:20].astype(float) - query, axis=1
+                )
+            )
+            assert meta.min_distance(query) <= true_min + 1e-9
+
+
+class TestChunkSet:
+    def make_set(self, collection, groups):
+        return ChunkSet(
+            collection, [Chunk.from_rows(collection, g) for g in groups]
+        )
+
+    def test_partition_detection(self, tiny_collection):
+        n = len(tiny_collection)
+        full = self.make_set(
+            tiny_collection, [range(0, n // 2), range(n // 2, n)]
+        )
+        assert full.is_partition()
+        partial = self.make_set(tiny_collection, [range(0, n // 2)])
+        assert not partial.is_partition()
+
+    def test_sizes_and_average(self, tiny_collection):
+        cs = self.make_set(tiny_collection, [range(0, 10), range(10, 60)])
+        assert list(cs.sizes()) == [10, 50]
+        assert cs.average_size() == 30.0
+        assert cs.total_descriptors() == 60
+
+    def test_largest_sizes(self, tiny_collection):
+        cs = self.make_set(
+            tiny_collection, [range(0, 5), range(5, 45), range(45, 60)]
+        )
+        assert list(cs.largest_sizes(2)) == [40, 15]
+
+    def test_validate_catches_duplicates(self, tiny_collection):
+        cs = self.make_set(tiny_collection, [range(0, 10), range(5, 60)])
+        with pytest.raises(ValueError, match="more than one chunk"):
+            cs.validate()
+
+    def test_validate_passes_on_partition(self, tiny_collection):
+        n = len(tiny_collection)
+        cs = self.make_set(tiny_collection, [range(0, n)])
+        cs.validate()
+
+    def test_empty_chunk_set_raises(self, tiny_collection):
+        with pytest.raises(ValueError):
+            ChunkSet(tiny_collection, [])
+
+    def test_validate_catches_bad_radius(self, tiny_collection):
+        chunk = Chunk.from_rows(tiny_collection, range(len(tiny_collection)))
+        chunk.radius = 0.0  # corrupt the invariant
+        cs = ChunkSet(tiny_collection, [chunk])
+        with pytest.raises(ValueError, match="bounding radius"):
+            cs.validate()

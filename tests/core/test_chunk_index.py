@@ -1,0 +1,102 @@
+"""Tests for chunk-index building, access, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunk import Chunk, ChunkSet
+from repro.core.chunk_index import (
+    ChunkIndex,
+    InMemoryChunkStore,
+    build_chunk_index,
+)
+from repro.storage.pages import PageGeometry
+from repro.storage.records import RecordCodec
+
+
+@pytest.fixture()
+def simple_index(tiny_collection):
+    groups = [range(0, 20), range(20, 40), range(40, 60)]
+    chunk_set = ChunkSet(
+        tiny_collection, [Chunk.from_rows(tiny_collection, g) for g in groups]
+    )
+    return build_chunk_index(tiny_collection, chunk_set, name="test-index")
+
+
+class TestBuild:
+    def test_counts(self, simple_index):
+        assert simple_index.n_chunks == 3
+        assert simple_index.n_descriptors == 60
+
+    def test_read_chunk_contents(self, simple_index, tiny_collection):
+        ids, vectors = simple_index.read_chunk(1)
+        assert list(ids) == list(range(20, 40))
+        np.testing.assert_array_equal(vectors, tiny_collection.vectors[20:40])
+
+    def test_read_chunk_out_of_range(self, simple_index):
+        with pytest.raises(IndexError):
+            simple_index.read_chunk(3)
+
+    def test_page_layout_matches_on_disk_writer(self, simple_index):
+        """Extents assigned at build time must equal what the chunk-file
+        writer would produce (the simulated I/O depends on it)."""
+        geometry = PageGeometry()
+        codec = RecordCodec(simple_index.dimensions)
+        next_page = 0
+        for meta in simple_index.metas:
+            expected_pages = geometry.pages_for(
+                meta.n_descriptors * codec.record_bytes
+            )
+            assert meta.page_offset == next_page
+            assert meta.page_count == expected_pages
+            next_page += expected_pages
+
+    def test_matrix_accessors(self, simple_index):
+        assert simple_index.centroid_matrix().shape == (3, 4)
+        assert simple_index.radius_vector().shape == (3,)
+        assert list(simple_index.descriptor_counts()) == [20, 20, 20]
+        assert simple_index.index_bytes > 0
+
+    def test_store_size_mismatch_raises(self, simple_index):
+        with pytest.raises(ValueError, match="store has"):
+            ChunkIndex(
+                metas=simple_index.metas,
+                store=InMemoryChunkStore([(np.arange(1), np.ones((1, 4)))]),
+                dimensions=4,
+            )
+
+    def test_empty_metas_raise(self):
+        with pytest.raises(ValueError):
+            ChunkIndex(metas=[], store=InMemoryChunkStore([]), dimensions=4)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, simple_index, tmp_path):
+        directory = str(tmp_path / "idx")
+        simple_index.save(directory)
+        loaded = ChunkIndex.load(directory, dimensions=4)
+        assert loaded.n_chunks == simple_index.n_chunks
+        for chunk_id in range(simple_index.n_chunks):
+            ids_a, vec_a = simple_index.read_chunk(chunk_id)
+            ids_b, vec_b = loaded.read_chunk(chunk_id)
+            np.testing.assert_array_equal(ids_a, ids_b)
+            np.testing.assert_array_equal(vec_a, vec_b)
+            meta_a = simple_index.metas[chunk_id]
+            meta_b = loaded.metas[chunk_id]
+            np.testing.assert_allclose(meta_a.centroid, meta_b.centroid)
+            assert meta_a.radius == pytest.approx(meta_b.radius)
+        loaded.close()
+
+    def test_loaded_index_searchable(self, simple_index, tiny_collection, tmp_path):
+        from repro.core.ground_truth import exact_knn
+        from repro.core.search import ChunkSearcher
+
+        directory = str(tmp_path / "idx2")
+        simple_index.save(directory)
+        loaded = ChunkIndex.load(directory, dimensions=4)
+        query = tiny_collection.vectors[7].astype(float)
+        result = ChunkSearcher(loaded).search(query, k=5)
+        assert result.completed
+        np.testing.assert_array_equal(
+            result.neighbor_ids(), exact_knn(tiny_collection, query, 5)
+        )
+        loaded.close()

@@ -1,0 +1,152 @@
+"""Unit and property tests for the distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import (
+    euclidean_distances,
+    nearest_index,
+    pairwise_squared_distances,
+    squared_distances,
+    top_k_smallest,
+)
+
+
+def brute_force_sq(query, points):
+    return np.array([np.sum((p - query) ** 2) for p in points])
+
+
+class TestSquaredDistances:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((50, 24))
+        query = rng.standard_normal(24)
+        np.testing.assert_allclose(
+            squared_distances(query, points), brute_force_sq(query, points)
+        )
+
+    def test_zero_for_identical_point(self):
+        q = np.array([1.0, 2.0, 3.0])
+        d = squared_distances(q, np.array([[1.0, 2.0, 3.0]]))
+        assert d[0] == 0.0
+
+    def test_single_vector_promoted(self):
+        d = squared_distances(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert d.shape == (1,)
+        assert d[0] == pytest.approx(25.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            squared_distances(np.zeros(3), np.zeros((5, 4)))
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            squared_distances(np.zeros(2), np.zeros((2, 2, 2)))
+
+    def test_float32_inputs_promoted_exactly(self):
+        points = np.array([[1.5, 2.5]], dtype=np.float32)
+        d = squared_distances(np.array([0.5, 0.5], dtype=np.float32), points)
+        assert d.dtype == np.float64
+        assert d[0] == pytest.approx(5.0)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 30), st.integers(1, 8)),
+            elements=st.floats(-1e3, 1e3),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_nonnegative_and_exact(self, points):
+        query = points[0]
+        d = squared_distances(query, points)
+        assert np.all(d >= 0)
+        assert d[0] == 0.0
+        np.testing.assert_allclose(d, brute_force_sq(query, points), atol=1e-6)
+
+
+class TestEuclidean:
+    def test_is_sqrt_of_squared(self):
+        rng = np.random.default_rng(1)
+        points = rng.standard_normal((20, 6))
+        query = rng.standard_normal(6)
+        np.testing.assert_allclose(
+            euclidean_distances(query, points) ** 2,
+            squared_distances(query, points),
+        )
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(2)
+        a, b, c = rng.standard_normal((3, 10))
+        ab = euclidean_distances(a, b[np.newaxis])[0]
+        bc = euclidean_distances(b, c[np.newaxis])[0]
+        ac = euclidean_distances(a, c[np.newaxis])[0]
+        assert ac <= ab + bc + 1e-9
+
+
+class TestPairwise:
+    def test_matches_rowwise(self):
+        rng = np.random.default_rng(3)
+        queries = rng.standard_normal((7, 5))
+        points = rng.standard_normal((13, 5))
+        full = pairwise_squared_distances(queries, points)
+        assert full.shape == (7, 13)
+        for i, q in enumerate(queries):
+            np.testing.assert_allclose(full[i], squared_distances(q, points))
+
+    def test_blocking_does_not_change_result(self):
+        rng = np.random.default_rng(4)
+        queries = rng.standard_normal((3, 4))
+        points = rng.standard_normal((25, 4))
+        np.testing.assert_allclose(
+            pairwise_squared_distances(queries, points, block_rows=7),
+            pairwise_squared_distances(queries, points, block_rows=1000),
+        )
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_squared_distances(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestTopK:
+    def test_sorted_ascending(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        idx = top_k_smallest(values, 3)
+        assert list(idx) == [1, 3, 2]
+
+    def test_k_zero_empty(self):
+        assert top_k_smallest(np.array([1.0]), 0).size == 0
+
+    def test_k_exceeds_length(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert list(top_k_smallest(values, 10)) == [1, 2, 0]
+
+    def test_ties_broken_by_index(self):
+        values = np.array([1.0, 0.5, 0.5, 0.5, 2.0])
+        idx = top_k_smallest(values, 2)
+        assert list(idx) == [1, 2]
+
+    @given(
+        hnp.arrays(
+            np.float64, st.integers(1, 60), elements=st.floats(-100, 100)
+        ),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_full_sort(self, values, k):
+        idx = top_k_smallest(values, k)
+        expected = sorted(range(len(values)), key=lambda i: (values[i], i))[:k]
+        assert list(idx) == expected
+
+
+class TestNearestIndex:
+    def test_finds_nearest(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.1, 0.0]])
+        assert nearest_index(np.array([0.0, 0.05]), points) == 0
+
+    def test_tie_lowest_index(self):
+        points = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert nearest_index(np.array([0.0, 0.0]), points) == 0

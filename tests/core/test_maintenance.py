@@ -1,0 +1,211 @@
+"""Tests for incremental chunk-index maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.chunking.srtree_chunker import SRTreeChunker
+from repro.core.chunk_index import build_chunk_index
+from repro.core.ground_truth import exact_knn
+from repro.core.maintenance import ChunkIndexMaintainer
+from repro.core.dataset import DescriptorCollection
+from repro.core.search import ChunkSearcher
+
+
+@pytest.fixture()
+def maintainer(tiny_collection):
+    chunking = SRTreeChunker(leaf_capacity=12).form_chunks(tiny_collection)
+    index = build_chunk_index(chunking.retained, chunking.chunk_set)
+    return ChunkIndexMaintainer(index), tiny_collection
+
+
+def full_collection_after(maintainer, base, inserted, deleted):
+    """The logical collection after maintenance operations."""
+    keep = [i for i in range(len(base)) if int(base.ids[i]) not in deleted]
+    vectors = [base.vectors[i] for i in keep]
+    ids = [int(base.ids[i]) for i in keep]
+    for descriptor_id, vector in inserted:
+        ids.append(descriptor_id)
+        vectors.append(np.asarray(vector, dtype=np.float32))
+    return DescriptorCollection(
+        vectors=np.vstack(vectors),
+        ids=np.asarray(ids, dtype=np.int64),
+        image_ids=np.zeros(len(ids), dtype=np.int64),
+    )
+
+
+class TestConstruction:
+    def test_copies_index(self, maintainer):
+        m, collection = maintainer
+        assert len(m) == len(collection)
+        assert m.n_chunks > 1
+
+    def test_validation(self, maintainer):
+        m, _ = maintainer
+        from repro.chunking.srtree_chunker import SRTreeChunker
+
+        with pytest.raises(ValueError):
+            ChunkIndexMaintainer(m.to_index(), split_factor=1.0)
+        with pytest.raises(ValueError):
+            ChunkIndexMaintainer(m.to_index(), merge_fraction=1.0)
+
+
+class TestInsert:
+    def test_insert_searchable(self, maintainer):
+        m, collection = maintainer
+        new_vector = collection.vectors[0] + 0.01
+        m.insert(1000, new_vector)
+        assert len(m) == len(collection) + 1
+        index = m.to_index()
+        result = ChunkSearcher(index).search(
+            new_vector.astype(float), k=1
+        )
+        assert result.neighbor_ids()[0] == 1000
+
+    def test_duplicate_id_rejected(self, maintainer):
+        m, _ = maintainer
+        with pytest.raises(ValueError, match="already present"):
+            m.insert(0, np.zeros(4))
+
+    def test_dimension_mismatch(self, maintainer):
+        m, _ = maintainer
+        with pytest.raises(ValueError):
+            m.insert(1000, np.zeros(3))
+
+    def test_oversized_chunk_splits(self, maintainer):
+        m, collection = maintainer
+        target = m.target_chunk_size
+        before = m.n_chunks
+        # Pour many descriptors into one spot to force a split.
+        for i in range(int(m.split_factor * target) + 2):
+            m.insert(2000 + i, collection.vectors[0] + 0.001 * i)
+        assert m.stats.splits >= 1
+        assert m.n_chunks > before
+
+    def test_exactness_preserved_after_inserts(self, maintainer):
+        m, collection = maintainer
+        rng = np.random.default_rng(0)
+        inserted = []
+        for i in range(25):
+            vector = rng.standard_normal(4).astype(np.float32) * 3
+            m.insert(5000 + i, vector)
+            inserted.append((5000 + i, vector))
+        logical = full_collection_after(m, collection, inserted, set())
+        index = m.to_index()
+        searcher = ChunkSearcher(index)
+        for _ in range(5):
+            query = rng.standard_normal(4) * 3
+            got = searcher.search(query, k=6)
+            np.testing.assert_array_equal(
+                got.neighbor_ids(), exact_knn(logical, query, 6)
+            )
+
+
+class TestDelete:
+    def test_delete_removes_from_results(self, maintainer):
+        m, collection = maintainer
+        m.delete(7)
+        index = m.to_index()
+        result = ChunkSearcher(index).search(
+            collection.vectors[7].astype(float), k=len(collection) - 1
+        )
+        assert 7 not in set(result.neighbor_ids().tolist())
+
+    def test_missing_id_raises(self, maintainer):
+        m, _ = maintainer
+        with pytest.raises(KeyError):
+            m.delete(10_000)
+
+    def test_shrunken_chunk_merges(self, maintainer):
+        m, collection = maintainer
+        # Delete most of one chunk's members to force a merge.
+        index = m.to_index()
+        ids, _ = index.read_chunk(0)
+        for descriptor_id in ids[:-1]:
+            m.delete(int(descriptor_id))
+        assert m.stats.merges >= 1 or m.n_chunks < index.n_chunks
+
+    def test_exactness_preserved_after_mixed_workload(self, maintainer):
+        m, collection = maintainer
+        rng = np.random.default_rng(1)
+        inserted, deleted = [], set()
+        for i in range(30):
+            if i % 3 == 2:
+                victim = int(rng.integers(len(collection)))
+                if victim not in deleted:
+                    m.delete(victim)
+                    deleted.add(victim)
+            else:
+                vector = rng.standard_normal(4).astype(np.float32) * 4
+                m.insert(7000 + i, vector)
+                inserted.append((7000 + i, vector))
+        logical = full_collection_after(m, collection, inserted, deleted)
+        assert len(m) == len(logical)
+        searcher = ChunkSearcher(m.to_index())
+        for _ in range(5):
+            query = rng.standard_normal(4) * 4
+            got = searcher.search(query, k=5)
+            np.testing.assert_array_equal(
+                got.neighbor_ids(), exact_knn(logical, query, 5)
+            )
+
+
+class TestStorageAccounting:
+    def test_relocation_tracked(self, tiny_collection):
+        # A high split threshold lets one chunk's payload outgrow its
+        # 8 KiB page (an 8-byte-per-value record layout fits 81 records).
+        chunking = SRTreeChunker(leaf_capacity=12).form_chunks(tiny_collection)
+        index = build_chunk_index(chunking.retained, chunking.chunk_set)
+        m = ChunkIndexMaintainer(
+            index, target_chunk_size=300, split_factor=3.0
+        )
+        # 4-d records are 20 bytes, so one 8 KiB page holds 409; growing a
+        # chunk past that must relocate it.
+        for i in range(450):
+            m.insert(9000 + i, tiny_collection.vectors[0] + 0.0001 * i)
+        assert m.stats.relocations >= 1
+        assert m.stats.dead_pages >= 1
+        assert 0.0 <= m.fragmentation < 1.0
+
+    def test_extents_never_overlap(self, maintainer):
+        m, collection = maintainer
+        rng = np.random.default_rng(2)
+        for i in range(100):
+            m.insert(11000 + i, rng.standard_normal(4).astype(np.float32) * 4)
+        index = m.to_index()
+        spans = sorted(
+            (meta.page_offset, meta.page_offset + meta.page_count)
+            for meta in index.metas
+        )
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+
+class TestCompaction:
+    def test_compact_reclaims_dead_pages(self, tiny_collection):
+        chunking = SRTreeChunker(leaf_capacity=12).form_chunks(tiny_collection)
+        index = build_chunk_index(chunking.retained, chunking.chunk_set)
+        m = ChunkIndexMaintainer(index, target_chunk_size=300, split_factor=3.0)
+        for i in range(450):
+            m.insert(9000 + i, tiny_collection.vectors[0] + 0.0001 * i)
+        assert m.fragmentation > 0
+        reclaimed = m.compact()
+        assert reclaimed > 0
+        assert m.fragmentation == 0.0
+
+    def test_compact_preserves_contents_and_layout(self, maintainer):
+        m, collection = maintainer
+        rng = np.random.default_rng(3)
+        for i in range(60):
+            m.insert(12000 + i, rng.standard_normal(4).astype(np.float32) * 4)
+        before = m.to_index()
+        query = collection.vectors[0].astype(float)
+        expected = ChunkSearcher(before).search(query, k=8).neighbor_ids()
+        m.compact()
+        after = m.to_index()
+        got = ChunkSearcher(after).search(query, k=8).neighbor_ids()
+        np.testing.assert_array_equal(got, expected)
+        # Extents are now dense: offsets are the running page sum.
+        offset = 0
+        for meta in after.metas:
+            assert meta.page_offset == offset
+            offset += meta.page_count

@@ -1,0 +1,101 @@
+"""Tests for the quality/cost metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    completion_stats,
+    curves_from_traces,
+    precision_at_k,
+)
+from repro.core.trace import SearchTrace, TraceEvent
+
+
+def make_trace(start, steps):
+    """steps: list of (elapsed, matches)."""
+    t = SearchTrace(start_elapsed_s=start)
+    for rank, (elapsed, matches) in enumerate(steps, start=1):
+        t.append(
+            TraceEvent(
+                chunk_id=rank - 1,
+                rank=rank,
+                elapsed_s=elapsed,
+                n_descriptors=4,
+                neighbors_found=matches,
+                kth_distance=1.0,
+                true_matches=matches,
+            )
+        )
+    return t
+
+
+class TestPrecision:
+    def test_full_match(self):
+        assert precision_at_k([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 9, 8], [1, 2, 3]) == pytest.approx(1 / 3)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [])
+
+    def test_equals_recall_for_fixed_size(self):
+        """Paper: with fixed result size, precision == recall."""
+        result, truth = [1, 2, 9], [1, 2, 3]
+        precision = precision_at_k(result, truth)
+        recall = len(set(result) & set(truth)) / len(truth)
+        assert precision == recall
+
+
+class TestCurves:
+    def test_averaging_over_traces(self):
+        t1 = make_trace(0.1, [(0.2, 1), (0.3, 2)])
+        t2 = make_trace(0.1, [(0.4, 2), (0.5, 2)])
+        curves = curves_from_traces([t1, t2], k=2)
+        assert curves.n_queries == 2
+        # N=0: both pay start cost.
+        assert curves.elapsed_s[0] == pytest.approx(0.1)
+        assert curves.chunks_read[0] == 0.0
+        # N=1: t1 after chunk 1 (0.2), t2 after chunk 1 (0.4).
+        assert curves.elapsed_s[1] == pytest.approx(0.3)
+        assert curves.chunks_read[1] == pytest.approx(1.0)
+        # N=2: t1 after chunk 2 (0.3), t2 after chunk 1 (0.4).
+        assert curves.elapsed_s[2] == pytest.approx(0.35)
+        assert curves.chunks_read[2] == pytest.approx(1.5)
+
+    def test_incomplete_trace_rejected(self):
+        t = make_trace(0.0, [(0.1, 1)])
+        with pytest.raises(ValueError, match="never found"):
+            curves_from_traces([t], k=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            curves_from_traces([], k=2)
+
+    def test_as_rows(self):
+        t = make_trace(0.0, [(0.1, 2)])
+        rows = curves_from_traces([t], k=2).as_rows()
+        assert rows[0]["neighbors"] == 0
+        assert rows[2]["chunks_read"] == 1.0
+
+    def test_curves_monotone(self):
+        t = make_trace(0.0, [(0.1, 0), (0.2, 1), (0.3, 3)])
+        curves = curves_from_traces([t], k=3)
+        assert np.all(np.diff(curves.chunks_read) >= 0)
+        assert np.all(np.diff(curves.elapsed_s) >= 0)
+
+
+class TestCompletionStats:
+    def test_means(self):
+        t1 = make_trace(0.0, [(0.2, 1)])
+        t2 = make_trace(0.0, [(0.1, 1), (0.4, 1), (0.6, 1)])
+        stats = completion_stats([t1, t2])
+        assert stats.mean_elapsed_s == pytest.approx(0.4)
+        assert stats.mean_chunks_read == pytest.approx(2.0)
+        assert stats.mean_descriptors_scanned == pytest.approx(8.0)
+        assert stats.n_queries == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            completion_stats([])

@@ -1,0 +1,135 @@
+"""Unit and property tests for the bounded neighbor set."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighbors import Neighbor, NeighborSet
+
+
+class TestNeighbor:
+    def test_ordering_by_distance_then_id(self):
+        assert Neighbor(1.0, 5) < Neighbor(2.0, 1)
+        assert Neighbor(1.0, 1) < Neighbor(1.0, 2)
+
+    def test_accessors(self):
+        n = Neighbor(1.5, 7)
+        assert n.distance == 1.5
+        assert n.descriptor_id == 7
+
+
+class TestNeighborSet:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NeighborSet(0)
+
+    def test_kth_distance_infinite_until_full(self):
+        ns = NeighborSet(2)
+        assert math.isinf(ns.kth_distance)
+        ns.offer(1.0, 1)
+        assert math.isinf(ns.kth_distance)
+        ns.offer(2.0, 2)
+        assert ns.kth_distance == 2.0
+
+    def test_eviction_keeps_best(self):
+        ns = NeighborSet(2)
+        for d, i in [(5.0, 1), (3.0, 2), (4.0, 3), (1.0, 4)]:
+            ns.offer(d, i)
+        assert [n.descriptor_id for n in ns.sorted()] == [4, 2]
+
+    def test_rejects_worse_when_full(self):
+        ns = NeighborSet(1)
+        assert ns.offer(1.0, 1)
+        assert not ns.offer(2.0, 2)
+
+    def test_tie_admits_lower_id(self):
+        ns = NeighborSet(1)
+        ns.offer(1.0, 10)
+        assert ns.offer(1.0, 3)
+        assert ns.sorted()[0].descriptor_id == 3
+
+    def test_tie_rejects_higher_id(self):
+        ns = NeighborSet(1)
+        ns.offer(1.0, 3)
+        assert not ns.offer(1.0, 10)
+
+    def test_bulk_update_matches_individual(self):
+        rng = np.random.default_rng(0)
+        distances = rng.random(100)
+        ids = rng.permutation(100)
+        bulk = NeighborSet(10)
+        bulk.update(distances, ids)
+        single = NeighborSet(10)
+        for d, i in zip(distances, ids):
+            single.offer(d, i)
+        assert bulk.sorted() == single.sorted()
+
+    def test_update_returns_admitted_count(self):
+        ns = NeighborSet(3)
+        admitted = ns.update(np.array([1.0, 2.0, 3.0, 4.0]), np.arange(4))
+        assert admitted == 3
+
+    def test_update_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NeighborSet(2).update(np.ones(3), np.arange(2))
+
+    def test_merge(self):
+        a = NeighborSet(3)
+        a.update(np.array([1.0, 5.0]), np.array([1, 2]))
+        b = NeighborSet(3)
+        b.update(np.array([2.0, 0.5]), np.array([3, 4]))
+        a.merge(b)
+        assert [n.descriptor_id for n in a.sorted()] == [4, 1, 3]
+
+    def test_contains_and_id_set(self):
+        ns = NeighborSet(2)
+        ns.offer(1.0, 42)
+        assert 42 in ns
+        assert 7 not in ns
+        assert ns.id_set() == {42}
+
+    def test_ids_sorted_best_first(self):
+        ns = NeighborSet(3)
+        ns.update(np.array([3.0, 1.0, 2.0]), np.array([30, 10, 20]))
+        assert list(ns.ids()) == [10, 20, 30]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False), st.integers(0, 10_000)
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_equals_sorted_prefix(self, pairs, k):
+        """The set must always equal the k best of everything offered,
+        under (distance, id) ordering with duplicate ids allowed."""
+        ns = NeighborSet(k)
+        for d, i in pairs:
+            ns.offer(d, i)
+        expected = sorted(set(pairs), key=lambda p: (p[0], p[1]))
+        # Duplicate (d, id) pairs are admitted at most once per offer; the
+        # set itself may hold duplicates if offered twice, so compare
+        # against the multiset of offers.
+        expected_multiset = sorted(pairs, key=lambda p: (p[0], p[1]))[:k]
+        got = [(n.distance, n.descriptor_id) for n in ns.sorted()]
+        assert got == expected_multiset
+
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=60),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_kth_distance_is_max_retained(self, distances, k):
+        ns = NeighborSet(k)
+        ns.update(np.asarray(distances), np.arange(len(distances)))
+        if len(ns) < k:
+            assert math.isinf(ns.kth_distance)
+        else:
+            assert ns.kth_distance == max(n.distance for n in ns.sorted())

@@ -1,0 +1,192 @@
+"""Tests for the ranked chunk-scan search algorithm.
+
+The load-bearing property: a run-to-completion search must return exactly
+the sequential scan's k-NN, for any chunking of the collection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chunking.random_chunker import RandomChunker
+from repro.chunking.round_robin import RoundRobinChunker
+from repro.chunking.srtree_chunker import SRTreeChunker
+from repro.core.chunk_index import build_chunk_index
+from repro.core.ground_truth import exact_knn
+from repro.core.search import (
+    RANK_BY_CENTROID,
+    RANK_BY_LOWER_BOUND,
+    ChunkSearcher,
+)
+from repro.core.stop_rules import MaxChunks, TimeBudget
+
+
+def make_index(collection, chunker):
+    result = chunker.form_chunks(collection)
+    return build_chunk_index(result.retained, result.chunk_set)
+
+
+@pytest.fixture()
+def sr_index(tiny_collection):
+    return make_index(tiny_collection, SRTreeChunker(leaf_capacity=8))
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "chunker",
+        [
+            SRTreeChunker(leaf_capacity=7),
+            RoundRobinChunker(n_chunks=9),
+            RandomChunker(n_chunks=5, seed=3),
+        ],
+        ids=["srtree", "round-robin", "random"],
+    )
+    def test_completion_matches_sequential_scan(self, tiny_collection, chunker):
+        index = make_index(tiny_collection, chunker)
+        searcher = ChunkSearcher(index)
+        rng = np.random.default_rng(17)
+        for _ in range(15):
+            query = rng.standard_normal(4) * 4.0
+            result = searcher.search(query, k=7)
+            assert result.completed
+            np.testing.assert_array_equal(
+                result.neighbor_ids(), exact_knn(tiny_collection, query, 7)
+            )
+
+    def test_lower_bound_ranking_also_exact(self, tiny_collection):
+        index = make_index(tiny_collection, SRTreeChunker(leaf_capacity=6))
+        searcher = ChunkSearcher(index, rank_by=RANK_BY_LOWER_BOUND)
+        query = tiny_collection.vectors[3].astype(float)
+        result = searcher.search(query, k=5)
+        np.testing.assert_array_equal(
+            result.neighbor_ids(), exact_knn(tiny_collection, query, 5)
+        )
+
+    def test_synthetic_collection_exactness(self, small_synthetic):
+        index = make_index(small_synthetic, SRTreeChunker(leaf_capacity=64))
+        searcher = ChunkSearcher(index)
+        rng = np.random.default_rng(23)
+        rows = rng.choice(len(small_synthetic), size=5, replace=False)
+        for row in rows:
+            query = small_synthetic.vectors[row].astype(float)
+            result = searcher.search(query, k=10)
+            np.testing.assert_array_equal(
+                result.neighbor_ids(), exact_knn(small_synthetic, query, 10)
+            )
+
+
+class TestRanking:
+    def test_rank_orders_by_centroid_distance(self, sr_index, tiny_collection):
+        searcher = ChunkSearcher(sr_index)
+        query = tiny_collection.vectors[0].astype(float)
+        order, suffix_min = searcher.rank_chunks(query)
+        centroids = sr_index.centroid_matrix()
+        dists = np.linalg.norm(centroids[order] - query, axis=1)
+        assert np.all(np.diff(dists) >= -1e-12)
+
+    def test_suffix_min_is_min_of_remaining(self, sr_index, tiny_collection):
+        searcher = ChunkSearcher(sr_index)
+        query = tiny_collection.vectors[30].astype(float)
+        order, suffix_min = searcher.rank_chunks(query)
+        bounds = np.array(
+            [sr_index.metas[c].min_distance(query) for c in order]
+        )
+        for r in range(len(order)):
+            assert suffix_min[r] == pytest.approx(bounds[r:].min())
+
+    def test_unknown_rank_rule_rejected(self, sr_index):
+        with pytest.raises(ValueError):
+            ChunkSearcher(sr_index, rank_by="bogus")
+
+    def test_dimension_mismatch_rejected(self, sr_index):
+        searcher = ChunkSearcher(sr_index)
+        with pytest.raises(ValueError, match="dims"):
+            searcher.search(np.zeros(7), k=3)
+
+
+class TestStopRules:
+    def test_max_chunks_limits_reads(self, sr_index, tiny_collection):
+        searcher = ChunkSearcher(sr_index)
+        query = tiny_collection.vectors[0].astype(float)
+        result = searcher.search(query, k=30, stop_rule=MaxChunks(2))
+        assert result.chunks_read <= 2
+        assert result.stop_reason in ("max-chunks(2)", "completed")
+
+    def test_time_budget_stops_early(self, sr_index, tiny_collection):
+        searcher = ChunkSearcher(sr_index)
+        query = tiny_collection.vectors[0].astype(float)
+        full = searcher.search(query, k=30)
+        tiny_budget = full.trace.start_elapsed_s + 1e-9
+        limited = searcher.search(query, k=30, stop_rule=TimeBudget(tiny_budget))
+        assert limited.chunks_read <= full.chunks_read
+        assert limited.chunks_read == 1  # the first chunk crosses the budget
+
+    def test_completion_beats_stop_rule(self, sr_index, tiny_collection):
+        """If the proof fires before the rule, the result is exact."""
+        searcher = ChunkSearcher(sr_index)
+        query = tiny_collection.vectors[0].astype(float)
+        result = searcher.search(query, k=1, stop_rule=MaxChunks(10_000))
+        assert result.completed
+        assert result.stop_reason == "completed"
+
+
+class TestTraceRecording:
+    def test_trace_has_event_per_chunk(self, sr_index, tiny_collection):
+        searcher = ChunkSearcher(sr_index)
+        query = tiny_collection.vectors[10].astype(float)
+        result = searcher.search(query, k=5)
+        assert len(result.trace) == result.chunks_read
+        ranks = [e.rank for e in result.trace.events]
+        assert ranks == list(range(1, result.chunks_read + 1))
+
+    def test_elapsed_monotone(self, sr_index, tiny_collection):
+        searcher = ChunkSearcher(sr_index)
+        result = searcher.search(tiny_collection.vectors[4].astype(float), k=5)
+        times = [result.trace.start_elapsed_s] + [
+            e.elapsed_s for e in result.trace.events
+        ]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_true_matches_recorded_and_monotone(self, sr_index, tiny_collection):
+        query = tiny_collection.vectors[12].astype(float)
+        truth = exact_knn(tiny_collection, query, 5)
+        searcher = ChunkSearcher(sr_index)
+        result = searcher.search(query, k=5, true_neighbor_ids=truth)
+        matches = [e.true_matches for e in result.trace.events]
+        assert all(m >= 0 for m in matches)
+        assert all(a <= b for a, b in zip(matches, matches[1:]))
+        assert matches[-1] == 5  # completion finds all true neighbors
+
+    def test_no_ground_truth_means_minus_one(self, sr_index, tiny_collection):
+        searcher = ChunkSearcher(sr_index)
+        result = searcher.search(tiny_collection.vectors[0].astype(float), k=5)
+        assert all(e.true_matches == -1 for e in result.trace.events)
+
+
+class TestQueryValidation:
+    def test_nan_query_rejected(self, sr_index):
+        import numpy as np
+        import pytest
+        from repro.core.search import ChunkSearcher
+
+        searcher = ChunkSearcher(sr_index)
+        bad = np.array([np.nan, 0.0, 0.0, 0.0])
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            searcher.search(bad, k=3)
+
+    def test_infinite_query_rejected(self, sr_index):
+        import numpy as np
+        import pytest
+        from repro.core.search import ChunkSearcher
+
+        searcher = ChunkSearcher(sr_index)
+        bad = np.array([np.inf, 0.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            searcher.search(bad, k=3)
+
+    def test_nonpositive_k_rejected(self, sr_index):
+        import numpy as np
+        import pytest
+        from repro.core.search import ChunkSearcher
+
+        with pytest.raises(ValueError, match="k must be positive"):
+            ChunkSearcher(sr_index).search(np.zeros(4), k=0)

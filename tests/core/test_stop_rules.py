@@ -1,0 +1,97 @@
+"""Tests for stop rules."""
+
+import math
+
+import pytest
+
+from repro.core.stop_rules import (
+    ExactCompletion,
+    FirstOf,
+    MaxChunks,
+    SearchProgress,
+    TimeBudget,
+)
+
+
+def progress(**kwargs):
+    defaults = dict(
+        chunks_read=1,
+        elapsed_s=0.1,
+        neighbors_found=10,
+        kth_distance=1.0,
+        remaining_lower_bound=0.5,
+    )
+    defaults.update(kwargs)
+    return SearchProgress(**defaults)
+
+
+class TestSearchProgress:
+    def test_completion_proven(self):
+        assert progress(remaining_lower_bound=2.0, kth_distance=1.0).completion_proven
+        assert not progress(
+            remaining_lower_bound=0.5, kth_distance=1.0
+        ).completion_proven
+
+    def test_infinite_kth_never_proven(self):
+        p = progress(kth_distance=math.inf, remaining_lower_bound=10.0)
+        assert not p.completion_proven
+
+    def test_no_remaining_chunks_proves(self):
+        p = progress(remaining_lower_bound=math.inf, kth_distance=5.0)
+        assert p.completion_proven
+
+
+class TestExactCompletion:
+    def test_never_stops(self):
+        rule = ExactCompletion()
+        assert rule.check(progress(chunks_read=10_000, elapsed_s=1e6)) is None
+
+
+class TestMaxChunks:
+    def test_fires_at_threshold(self):
+        rule = MaxChunks(3)
+        assert rule.check(progress(chunks_read=2)) is None
+        assert rule.check(progress(chunks_read=3)) == "max-chunks(3)"
+        assert rule.check(progress(chunks_read=4)) is not None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MaxChunks(0)
+
+
+class TestTimeBudget:
+    def test_fires_when_passed(self):
+        rule = TimeBudget(1.0)
+        assert rule.check(progress(elapsed_s=0.99)) is None
+        assert rule.check(progress(elapsed_s=1.0)) is not None
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            TimeBudget(0.0)
+        with pytest.raises(ValueError):
+            TimeBudget(float("nan"))
+
+
+class TestFirstOf:
+    def test_first_firing_rule_wins(self):
+        rule = FirstOf([MaxChunks(5), TimeBudget(0.05)])
+        assert rule.check(progress(chunks_read=1, elapsed_s=0.1)) == (
+            "time-budget(0.05s)"
+        )
+
+    def test_none_when_no_rule_fires(self):
+        rule = FirstOf([MaxChunks(5), TimeBudget(10.0)])
+        assert rule.check(progress(chunks_read=1, elapsed_s=0.1)) is None
+
+    def test_and_operator_composes(self):
+        rule = MaxChunks(2) & TimeBudget(5.0)
+        assert isinstance(rule, FirstOf)
+        assert rule.check(progress(chunks_read=2)) == "max-chunks(2)"
+
+    def test_nested_flattening(self):
+        rule = FirstOf([FirstOf([MaxChunks(1)]), TimeBudget(1.0)])
+        assert len(rule.rules) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FirstOf([])

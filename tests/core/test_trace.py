@@ -1,0 +1,86 @@
+"""Tests for search traces and their derived curves."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.trace import SearchTrace, TraceEvent
+
+
+def event(rank, elapsed, matches, chunk_id=None, n_desc=10):
+    return TraceEvent(
+        chunk_id=chunk_id if chunk_id is not None else rank - 1,
+        rank=rank,
+        elapsed_s=elapsed,
+        n_descriptors=n_desc,
+        neighbors_found=min(30, matches + 5),
+        kth_distance=1.0,
+        true_matches=matches,
+    )
+
+
+@pytest.fixture()
+def trace():
+    t = SearchTrace(start_elapsed_s=0.05)
+    t.append(event(1, 0.10, 2))
+    t.append(event(2, 0.20, 2))
+    t.append(event(3, 0.35, 5))
+    return t
+
+
+class TestAppend:
+    def test_rank_order_enforced(self, trace):
+        with pytest.raises(ValueError):
+            trace.append(event(5, 0.5, 6))
+
+    def test_first_event_rank_one(self):
+        t = SearchTrace(start_elapsed_s=0.0)
+        with pytest.raises(ValueError):
+            t.append(event(2, 0.1, 1))
+
+
+class TestCurves:
+    def test_chunks_to_find(self, trace):
+        assert trace.chunks_to_find(0) == 0.0
+        assert trace.chunks_to_find(1) == 1.0
+        assert trace.chunks_to_find(2) == 1.0
+        assert trace.chunks_to_find(3) == 3.0
+        assert trace.chunks_to_find(5) == 3.0
+        assert math.isinf(trace.chunks_to_find(6))
+
+    def test_time_to_find(self, trace):
+        assert trace.time_to_find(0) == 0.05
+        assert trace.time_to_find(2) == 0.10
+        assert trace.time_to_find(5) == 0.35
+        assert math.isinf(trace.time_to_find(10))
+
+    def test_no_ground_truth_raises(self):
+        t = SearchTrace(start_elapsed_s=0.0)
+        t.append(
+            TraceEvent(
+                chunk_id=0, rank=1, elapsed_s=0.1, n_descriptors=5,
+                neighbors_found=5, kth_distance=1.0,
+            )
+        )
+        with pytest.raises(ValueError, match="ground-truth"):
+            t.chunks_to_find(1)
+        with pytest.raises(ValueError, match="ground-truth"):
+            t.time_to_find(1)
+
+    def test_matches_and_elapsed_curves(self, trace):
+        np.testing.assert_array_equal(trace.matches_curve(), [2, 2, 5])
+        np.testing.assert_allclose(trace.elapsed_curve(), [0.10, 0.20, 0.35])
+
+
+class TestSummaries:
+    def test_final_elapsed(self, trace):
+        assert trace.final_elapsed_s == 0.35
+
+    def test_final_elapsed_empty_is_start(self):
+        t = SearchTrace(start_elapsed_s=0.07)
+        assert t.final_elapsed_s == 0.07
+
+    def test_chunks_read_and_scanned(self, trace):
+        assert trace.chunks_read == 3
+        assert trace.descriptors_scanned == 30

@@ -1,0 +1,76 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.ascii_plot import SERIES_MARKERS, plot_figure
+from repro.experiments.results import FigureResult
+
+
+def figure(series=None, x=None):
+    return FigureResult(
+        experiment_id="figX",
+        title="Demo",
+        x_label="n",
+        x_values=x if x is not None else [0, 1, 2, 3],
+        series=series if series is not None else {"a": [1.0, 2.0, 3.0, 4.0]},
+    )
+
+
+class TestPlot:
+    def test_basic_structure(self):
+        text = plot_figure(figure(), width=20, height=6)
+        lines = text.splitlines()
+        assert lines[0] == "[figX] Demo"
+        assert lines[-1].startswith("o=a")
+        assert any("-" * 20 in line for line in lines)
+        assert sum(1 for line in lines if line.startswith("|")) == 6
+
+    def test_markers_appear_per_series(self):
+        text = plot_figure(
+            figure(series={"a": [1, 2, 3, 4], "b": [4, 3, 2, 1]}),
+            width=24,
+            height=8,
+        )
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_monotone_series_descends_on_grid(self):
+        text = plot_figure(figure(), width=16, height=8)
+        rows = [
+            i for i, line in enumerate(text.splitlines()) if "o" in line and line.startswith("|")
+        ]
+        # Increasing values appear on higher (smaller index) rows first-to-last.
+        assert rows == sorted(rows)
+
+    def test_log_axes_skip_nonpositive(self):
+        fig = figure(series={"a": [0.0, 1.0, 10.0, 100.0]})
+        text = plot_figure(fig, width=20, height=6, log_y=True)
+        assert "(log)" in text
+
+    def test_all_filtered_raises(self):
+        fig = figure(series={"a": [0.0, 0.0, 0.0, 0.0]})
+        with pytest.raises(ValueError, match="nothing plottable"):
+            plot_figure(fig, log_y=True)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1, 2, 3, 4] for i in range(len(SERIES_MARKERS) + 1)}
+        with pytest.raises(ValueError, match="too many series"):
+            plot_figure(figure(series=series))
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            plot_figure(figure(), width=4, height=2)
+
+    def test_constant_series_plots(self):
+        text = plot_figure(figure(series={"a": [5, 5, 5, 5]}), width=12, height=5)
+        assert "o" in text
+
+
+class TestCliPlot:
+    def test_plot_flag(self, capsys, experiment_data):
+        from repro.cli import main
+
+        assert main(["experiment", "fig1", "--scale", "test", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o=BAG/SMALL" in out
+        assert "(log)" in out  # fig1 is log-y

@@ -1,0 +1,177 @@
+"""End-to-end tests of the experiment drivers at TEST scale.
+
+These assert the *shapes* the paper reports, not absolute values: who
+wins, monotonicities, and orderings.  They share one session-scoped
+`experiment_data` fixture, so the BAG run and all completion traces are
+computed once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SIZE_CLASSES,
+    chunk_size_sweep,
+    fig1,
+    quality_figures,
+    table1,
+    table2,
+)
+from repro.experiments.data import FAMILIES
+
+
+class TestPreparedData:
+    def test_six_indexes(self, experiment_data):
+        assert set(experiment_data.indexes) == {
+            (family, size_class)
+            for family in FAMILIES
+            for size_class in SIZE_CLASSES
+        }
+
+    def test_retained_shared_between_families(self, experiment_data):
+        for size_class in SIZE_CLASSES:
+            bag = experiment_data.built("BAG", size_class).chunking
+            sr = experiment_data.built("SR", size_class).chunking
+            assert sr.retained is bag.retained
+
+    def test_all_chunkings_valid(self, experiment_data):
+        for built in experiment_data.indexes.values():
+            built.chunking.validate()
+
+    def test_ground_truth_for_all_classes(self, experiment_data):
+        for size_class in SIZE_CLASSES:
+            for workload in ("DQ", "SQ"):
+                store = experiment_data.ground_truth(size_class, workload)
+                assert len(store) == experiment_data.scale.n_queries
+
+    def test_traces_cached(self, experiment_data):
+        a = experiment_data.completion_traces("SR", "SMALL", "DQ")
+        b = experiment_data.completion_traces("SR", "SMALL", "DQ")
+        assert a is b
+
+
+class TestTable1:
+    def test_shape(self, experiment_data):
+        result = table1.run(experiment_data)
+        assert len(result.rows) == 3
+        assert "table1" in result.render()
+
+    def test_outlier_fraction_decreases_with_size(self, experiment_data):
+        rows = table1.run(experiment_data).rows
+        outlier_pcts = [row[3] for row in rows]
+        assert outlier_pcts[0] >= outlier_pcts[1] >= outlier_pcts[2]
+
+    def test_bag_and_sr_counts_close(self, experiment_data):
+        for row in table1.run(experiment_data).rows:
+            bag_chunks, sr_chunks = row[4], row[6]
+            assert abs(bag_chunks - sr_chunks) <= 0.15 * bag_chunks
+
+    def test_chunk_sizes_grow(self, experiment_data):
+        rows = table1.run(experiment_data).rows
+        bag_sizes = [row[5] for row in rows]
+        assert bag_sizes[0] < bag_sizes[1] < bag_sizes[2]
+
+
+class TestFig1:
+    def test_bag_skew_vs_sr_uniformity(self, experiment_data):
+        result = fig1.run(experiment_data)
+        for size_class in SIZE_CLASSES:
+            bag = np.asarray(result.series[f"BAG/{size_class}"])
+            sr = np.asarray(result.series[f"SR/{size_class}"])
+            sr_nonzero = sr[sr > 0]
+            # SR chunks are uniform up to the single remainder chunk.
+            assert np.sum(sr_nonzero != sr_nonzero.max()) <= 1
+            # BAG's largest chunk dwarfs the SR leaf size.
+            assert bag[0] > 5 * sr_nonzero.max()
+
+    def test_descending(self, experiment_data):
+        result = fig1.run(experiment_data)
+        for values in result.series.values():
+            arr = np.asarray(values)
+            assert np.all(np.diff(arr) <= 0)
+
+
+class TestQualityFigures:
+    def test_fig2_bag_needs_fewer_chunks(self, experiment_data):
+        result = quality_figures.run_fig2(experiment_data)
+        k = experiment_data.scale.k
+        for size_class in SIZE_CLASSES:
+            bag = result.series[f"BAG/{size_class}"][k]
+            sr = result.series[f"SR/{size_class}"][k]
+            assert bag < sr
+
+    def test_fig2_curves_monotone(self, experiment_data):
+        result = quality_figures.run_fig2(experiment_data)
+        for values in result.series.values():
+            assert np.all(np.diff(np.asarray(values)) >= -1e-9)
+
+    def test_fig4_sr_faster_early(self, experiment_data):
+        """The paper's inversion: for the first neighbors SR is at least
+        as fast as BAG on the LARGE class (the giant-chunk stall)."""
+        result = quality_figures.run_fig4(experiment_data)
+        early = 3
+        assert (
+            result.series["SR/LARGE"][early]
+            <= result.series["BAG/LARGE"][early] * 1.05
+        )
+
+    def test_fig4_bag_catches_up(self, experiment_data):
+        result = quality_figures.run_fig4(experiment_data)
+        k = experiment_data.scale.k
+        assert result.series["BAG/SMALL"][k] < result.series["SR/SMALL"][k]
+
+    def test_fig4_starts_at_index_read_cost(self, experiment_data):
+        result = quality_figures.run_fig4(experiment_data)
+        for values in result.series.values():
+            assert values[0] > 0.0  # the index read is never free
+
+    def test_fig3_and_fig5_run(self, experiment_data):
+        for runner in (quality_figures.run_fig3, quality_figures.run_fig5):
+            result = runner(experiment_data)
+            assert len(result.series) == 6
+
+
+class TestTable2:
+    def test_completion_ordering(self, experiment_data):
+        rows = table2.run(experiment_data).rows
+        # Columns: [class, BAG DQ, BAG SQ, SR DQ, SR SQ]
+        for row in rows:
+            assert row[1] < row[3]  # BAG completes before SR (DQ)
+        # On SQ the paper also has BAG ahead everywhere; at our scale the
+        # LARGE class flips (the giant chunk's huge radius forces its read
+        # for far queries) — documented in EXPERIMENTS.md.  Assert the
+        # paper's ordering where it reproduces and boundedness elsewhere.
+        for row in rows[:2]:
+            assert row[2] < row[4]
+        assert rows[2][2] < rows[2][4] * 1.6
+        # Larger chunks complete faster for both families.
+        for col in range(1, 5):
+            assert rows[0][col] > rows[2][col]
+
+
+class TestChunkSizeSweep:
+    def test_fig6_shape(self, experiment_data):
+        result = chunk_size_sweep.run_fig6(experiment_data)
+        assert result.x_values == list(
+            s for s in experiment_data.scale.chunk_size_ladder
+            if s <= len(experiment_data.retained("SMALL"))
+        )
+        # The "30 neighbors" series dominates the "1 neighbor" series.
+        assert all(
+            a >= b
+            for a, b in zip(
+                result.series["30 neighbors"], result.series["1 neighbor"]
+            )
+        )
+
+    def test_fig7_runs(self, experiment_data):
+        result = chunk_size_sweep.run_fig7(experiment_data)
+        assert "30 neighbors" in result.series
+
+    def test_extreme_sizes_not_optimal_for_completion(self, experiment_data):
+        """The paper's valley: some interior chunk size beats (or ties)
+        both ladder endpoints for finding all 30 neighbors."""
+        result = chunk_size_sweep.run_fig6(experiment_data)
+        series = result.series["30 neighbors"]
+        interior_best = min(series[1:-1])
+        assert interior_best <= min(series[0], series[-1]) + 1e-9

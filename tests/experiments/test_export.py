@@ -1,0 +1,90 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import to_csv, to_json, write_result
+from repro.experiments.results import FigureResult, TableResult
+
+
+@pytest.fixture()
+def table():
+    return TableResult(
+        experiment_id="t", title="T", headers=["a", "b"], rows=[[1, 2.5], [3, 4.0]]
+    )
+
+
+@pytest.fixture()
+def figure():
+    return FigureResult(
+        experiment_id="f", title="F", x_label="x", x_values=[0, 1],
+        series={"s1": [1.0, 2.0], "s2": [3.0, 4.0]},
+    )
+
+
+class TestCsv:
+    def test_table(self, table):
+        rows = list(csv.reader(io.StringIO(to_csv(table))))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_figure_long_form(self, figure):
+        rows = list(csv.reader(io.StringIO(to_csv(figure))))
+        assert rows[0] == ["x", "series", "value"]
+        assert ["0", "s1", "1.0"] in rows
+        assert ["1", "s2", "4.0"] in rows
+        assert len(rows) == 5
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            to_csv(object())
+
+
+class TestJson:
+    def test_table(self, table):
+        doc = json.loads(to_json(table))
+        assert doc["kind"] == "table"
+        assert doc["headers"] == ["a", "b"]
+        assert doc["rows"] == [[1, 2.5], [3, 4.0]]
+
+    def test_figure(self, figure):
+        doc = json.loads(to_json(figure))
+        assert doc["kind"] == "figure"
+        assert doc["series"]["s1"] == [1.0, 2.0]
+        assert doc["x_values"] == [0, 1]
+
+
+class TestWrite:
+    def test_write_both_formats(self, table, tmp_path):
+        for fmt in ("csv", "json"):
+            path = str(tmp_path / f"out.{fmt}")
+            write_result(table, path, fmt=fmt)
+            with open(path) as stream:
+                assert stream.read()
+
+    def test_unknown_format(self, table, tmp_path):
+        with pytest.raises(ValueError, match="unknown export"):
+            write_result(table, str(tmp_path / "x"), fmt="yaml")
+
+
+class TestCliExport:
+    def test_experiment_with_export(self, tmp_path, capsys, experiment_data):
+        from repro.cli import main
+
+        out_dir = str(tmp_path / "results")
+        assert (
+            main(
+                [
+                    "experiment", "table1", "--scale", "test",
+                    "--export-dir", out_dir, "--format", "json",
+                ]
+            )
+            == 0
+        )
+        import os
+
+        doc = json.loads(open(os.path.join(out_dir, "table1.json")).read())
+        assert doc["experiment_id"] == "table1"

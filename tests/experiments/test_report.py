@@ -1,0 +1,70 @@
+"""Tests for result rendering."""
+
+import pytest
+
+from repro.experiments.report import format_series_block, format_table
+from repro.experiments.results import FigureResult, TableResult
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.234], ["bb", 10.5]], precision=1
+        )
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.2" in lines[2]
+        assert "10.5" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestSeriesBlock:
+    def test_columns_per_series(self):
+        text = format_series_block(
+            "x", [1, 2], {"s1": [0.5, 0.6], "s2": [1.5, 1.6]}
+        )
+        assert "s1" in text and "s2" in text
+        assert "0.500" in text
+
+
+class TestFigureResult:
+    def test_render(self):
+        fig = FigureResult(
+            experiment_id="figX",
+            title="Demo",
+            x_label="n",
+            x_values=[0, 1],
+            series={"a": [1.0, 2.0]},
+        )
+        text = fig.render()
+        assert "[figX] Demo" in text
+        assert "n" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            FigureResult(
+                experiment_id="f",
+                title="t",
+                x_label="x",
+                x_values=[0, 1],
+                series={"a": [1.0]},
+            )
+
+
+class TestTableResult:
+    def test_render(self):
+        table = TableResult(
+            experiment_id="tabX",
+            title="Demo",
+            headers=["a"],
+            rows=[[1], [2]],
+        )
+        assert "[tabX] Demo" in table.render()

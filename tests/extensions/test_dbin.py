@@ -1,0 +1,126 @@
+"""Tests for DBIN (EM-based probabilistic indexing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import exact_knn
+from repro.extensions.dbin import DbinIndex, GaussianMixture
+
+
+class TestGaussianMixture:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(0)
+        with pytest.raises(ValueError):
+            GaussianMixture(2, em_iterations=0)
+        with pytest.raises(ValueError):
+            GaussianMixture(5).fit(np.ones((3, 2)))
+
+    def test_recovers_separated_blobs(self, tiny_collection):
+        gmm = GaussianMixture(3, em_iterations=25, seed=0).fit(
+            tiny_collection.vectors.astype(float)
+        )
+        true_centers = np.array(
+            [[0.0, 0.0, 0.0, 0.0], [5.0, 5.0, 5.0, 5.0], [10.0, 0.0, 10.0, 0.0]]
+        )
+        # Every true center is near some fitted mean.
+        for center in true_centers:
+            gaps = np.linalg.norm(gmm.means - center, axis=1)
+            assert gaps.min() < 0.5
+
+    def test_weights_normalized(self, tiny_collection):
+        gmm = GaussianMixture(3, seed=1).fit(tiny_collection.vectors.astype(float))
+        assert gmm.weights.sum() == pytest.approx(1.0)
+        assert np.all(gmm.weights > 0)
+        assert np.all(gmm.variances > 0)
+
+    def test_assignment_partitions(self, tiny_collection):
+        gmm = GaussianMixture(3, seed=2).fit(tiny_collection.vectors.astype(float))
+        assignment = gmm.assign(tiny_collection.vectors.astype(float))
+        assert assignment.shape == (len(tiny_collection),)
+        assert set(assignment.tolist()) <= set(range(3))
+
+    def test_log_likelihood_improves(self, tiny_collection):
+        data = tiny_collection.vectors.astype(float)
+        short = GaussianMixture(3, em_iterations=1, seed=3).fit(data)
+        long = GaussianMixture(3, em_iterations=20, seed=3).fit(data)
+
+        def total_ll(gmm):
+            return float(
+                np.logaddexp.reduce(gmm.log_densities(data), axis=1).sum()
+            )
+
+        assert total_ll(long) >= total_ll(short) - 1e-6
+
+
+class TestCantelliBound:
+    def test_bound_is_valid(self):
+        """The Cantelli estimate must upper-bound the empirical
+        probability for Gaussian samples."""
+        rng = np.random.default_rng(0)
+        from repro.core.dataset import DescriptorCollection
+
+        data = rng.standard_normal((400, 6)) * 0.5 + 2.0
+        col = DescriptorCollection.from_vectors(data.astype(np.float32))
+        index = DbinIndex(col, n_components=1, seed=0)
+        query = np.zeros(6)
+        samples = rng.standard_normal((5000, 6)) * np.sqrt(
+            index.mixture.variances[0]
+        ) + index.mixture.means[0]
+        d2 = np.sum((samples - query) ** 2, axis=1)
+        for radius2 in (np.quantile(d2, 0.01), np.quantile(d2, 0.1)):
+            empirical = float(np.mean(d2 < radius2))
+            bound = index._better_neighbor_probability(0, query, radius2)
+            assert bound >= empirical - 0.02
+
+
+class TestDbinSearch:
+    @pytest.fixture()
+    def index(self, tiny_collection):
+        return DbinIndex(tiny_collection, n_components=6, seed=1)
+
+    def test_zero_threshold_is_exact(self, index, tiny_collection):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            query = rng.standard_normal(4) * 4
+            got, scanned = index.search(query, k=6, abort_threshold=0.0)
+            assert scanned == index.n_bins
+            assert got == exact_knn(tiny_collection, query, 6).tolist()
+
+    def test_abort_scans_fewer_bins(self, index, tiny_collection):
+        query = tiny_collection.vectors[0].astype(float)
+        _, full = index.search(query, k=3, abort_threshold=0.0)
+        _, aborted = index.search(query, k=3, abort_threshold=0.9)
+        assert aborted <= full
+
+    def test_recall_grows_as_threshold_falls(self, index, tiny_collection):
+        rng = np.random.default_rng(6)
+        queries = [rng.standard_normal(4) * 4 for _ in range(12)]
+
+        def recall(threshold):
+            hits = 0
+            for query in queries:
+                got, _ = index.search(query, k=5, abort_threshold=threshold)
+                truth = set(exact_knn(tiny_collection, query, 5).tolist())
+                hits += len(set(got) & truth)
+            return hits / (len(queries) * 5)
+
+        assert recall(0.0) == 1.0
+        assert recall(0.1) >= recall(5.0) - 1e-9
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError):
+            index.search(np.zeros(4), k=0)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(4), k=1, abort_threshold=-1)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(3), k=1)
+
+    def test_bins_partition(self, index, tiny_collection):
+        assert index.bin_sizes().sum() == len(tiny_collection)
+
+    def test_empty_collection_rejected(self):
+        from repro.core.dataset import DescriptorCollection
+
+        with pytest.raises(ValueError):
+            DbinIndex(DescriptorCollection.empty(3))

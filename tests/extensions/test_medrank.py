@@ -1,0 +1,70 @@
+"""Tests for the Medrank rank-aggregation index."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import exact_knn
+from repro.extensions.medrank import MedrankIndex
+
+
+class TestConstruction:
+    def test_validation(self, tiny_collection):
+        from repro.core.dataset import DescriptorCollection
+
+        with pytest.raises(ValueError):
+            MedrankIndex(DescriptorCollection.empty(4))
+        with pytest.raises(ValueError):
+            MedrankIndex(tiny_collection, n_lines=0)
+
+    def test_query_dim_mismatch(self, tiny_collection):
+        index = MedrankIndex(tiny_collection, n_lines=5)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(3), 1)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(4), 0)
+
+
+class TestSearch:
+    def test_self_query_finds_self(self, tiny_collection):
+        index = MedrankIndex(tiny_collection, n_lines=9, seed=1)
+        query = tiny_collection.vectors[5].astype(float)
+        result = index.search(query, k=1)
+        assert result[0] == 5
+
+    def test_returns_k_distinct(self, tiny_collection):
+        index = MedrankIndex(tiny_collection, n_lines=9, seed=2)
+        result = index.search(tiny_collection.vectors[0].astype(float), k=8)
+        assert len(result) == 8
+        assert len(set(result)) == 8
+
+    def test_k_capped_at_collection(self, tiny_collection):
+        index = MedrankIndex(tiny_collection, n_lines=5, seed=0)
+        result = index.search(np.zeros(4), k=10_000)
+        assert len(result) == len(tiny_collection)
+
+    def test_approximation_quality(self, tiny_collection):
+        """With enough lines, the approximate top-10 should overlap the
+        exact top-10 substantially on clustered data."""
+        index = MedrankIndex(tiny_collection, n_lines=21, seed=3)
+        rng = np.random.default_rng(0)
+        overlaps = []
+        for _ in range(10):
+            row = rng.integers(len(tiny_collection))
+            query = tiny_collection.vectors[row].astype(float)
+            approx = set(index.search(query, k=10))
+            exact = set(exact_knn(tiny_collection, query, 10).tolist())
+            overlaps.append(len(approx & exact) / 10)
+        assert np.mean(overlaps) >= 0.5
+
+    def test_deterministic(self, tiny_collection):
+        a = MedrankIndex(tiny_collection, n_lines=7, seed=5)
+        b = MedrankIndex(tiny_collection, n_lines=7, seed=5)
+        q = tiny_collection.vectors[3].astype(float)
+        assert a.search(q, 5) == b.search(q, 5)
+
+    def test_no_distance_computed_property(self, tiny_collection):
+        """Medrank touches only 1-d projections at query time: querying a
+        point far outside the data still terminates and returns ids."""
+        index = MedrankIndex(tiny_collection, n_lines=5, seed=1)
+        result = index.search(np.full(4, 1e6), k=3)
+        assert len(result) == 3

@@ -1,0 +1,74 @@
+"""Tests for the P-Sphere tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import exact_knn
+from repro.extensions.psphere import PSphereTree
+
+
+class TestConstruction:
+    def test_validation(self, tiny_collection):
+        from repro.core.dataset import DescriptorCollection
+
+        with pytest.raises(ValueError):
+            PSphereTree(DescriptorCollection.empty(4), 2, 5)
+        with pytest.raises(ValueError):
+            PSphereTree(tiny_collection, 0, 5)
+        with pytest.raises(ValueError):
+            PSphereTree(tiny_collection, 2, 0)
+
+    def test_counts_capped(self, tiny_collection):
+        tree = PSphereTree(tiny_collection, n_spheres=1000, points_per_sphere=1000)
+        assert tree.n_spheres == len(tiny_collection)
+        assert tree.points_per_sphere == len(tiny_collection)
+
+    def test_replication_factor(self, tiny_collection):
+        tree = PSphereTree(tiny_collection, n_spheres=6, points_per_sphere=20)
+        assert tree.replication_factor == pytest.approx(120 / 60)
+
+
+class TestSearch:
+    def test_self_query(self, tiny_collection):
+        tree = PSphereTree(tiny_collection, n_spheres=6, points_per_sphere=25, seed=1)
+        result = tree.search(tiny_collection.vectors[7].astype(float), k=1)
+        assert result[0] == 7
+
+    def test_single_sphere_scanned(self, tiny_collection):
+        tree = PSphereTree(tiny_collection, n_spheres=4, points_per_sphere=10)
+        assert tree.descriptors_scanned_per_query() == 10
+        result = tree.search(np.zeros(4), k=30)
+        assert len(result) <= 10  # only one sphere's contents
+
+    def test_space_for_time_trade(self, tiny_collection):
+        """More replication -> better (or equal) recall of the true NN."""
+        rng = np.random.default_rng(2)
+        queries = [rng.standard_normal(4) * 4 for _ in range(15)]
+
+        def recall(points_per_sphere):
+            tree = PSphereTree(
+                tiny_collection, n_spheres=5,
+                points_per_sphere=points_per_sphere, seed=3,
+            )
+            hits = 0
+            for query in queries:
+                truth = exact_knn(tiny_collection, query, 1)[0]
+                got = tree.search(query, k=1)
+                hits += bool(got and got[0] == truth)
+            return hits / len(queries)
+
+        assert recall(40) >= recall(5)
+        assert recall(60) == 1.0  # full replication: always correct
+
+    def test_validation(self, tiny_collection):
+        tree = PSphereTree(tiny_collection, 3, 10)
+        with pytest.raises(ValueError):
+            tree.search(np.zeros(4), k=0)
+        with pytest.raises(ValueError):
+            tree.search(np.zeros(3), k=1)
+
+    def test_deterministic(self, tiny_collection):
+        a = PSphereTree(tiny_collection, 5, 15, seed=9)
+        b = PSphereTree(tiny_collection, 5, 15, seed=9)
+        q = tiny_collection.vectors[3].astype(float)
+        assert a.search(q, 5) == b.search(q, 5)

@@ -1,0 +1,89 @@
+"""Tests for the approximate VA-file."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import exact_knn
+from repro.extensions.vafile import VAFile
+
+
+@pytest.fixture()
+def vafile(tiny_collection):
+    return VAFile(tiny_collection, bits_per_dimension=6)
+
+
+class TestConstruction:
+    def test_validation(self, tiny_collection):
+        from repro.core.dataset import DescriptorCollection
+
+        with pytest.raises(ValueError):
+            VAFile(DescriptorCollection.empty(4))
+        with pytest.raises(ValueError):
+            VAFile(tiny_collection, bits_per_dimension=0)
+        with pytest.raises(ValueError):
+            VAFile(tiny_collection, bits_per_dimension=17)
+
+    def test_signature_bytes(self, tiny_collection):
+        va = VAFile(tiny_collection, bits_per_dimension=4)
+        assert va.signature_bytes == 2  # 4 bits x 4 dims = 16 bits
+
+    def test_signatures_in_range(self, vafile):
+        assert vafile._signatures.min() >= 0
+        assert vafile._signatures.max() < 2**6
+
+
+class TestLowerBounds:
+    def test_bounds_never_exceed_true_distance(self, vafile, tiny_collection):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            query = rng.standard_normal(4) * 5
+            bounds = vafile._lower_bounds(query)
+            true_d2 = np.sum(
+                (tiny_collection.vectors.astype(float) - query) ** 2, axis=1
+            )
+            assert np.all(bounds <= true_d2 + 1e-9)
+
+    def test_own_cell_bound_zero(self, vafile, tiny_collection):
+        query = tiny_collection.vectors[7].astype(float)
+        bounds = vafile._lower_bounds(query)
+        assert bounds[7] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSearch:
+    def test_exact_mode_matches_sequential_scan(self, vafile, tiny_collection):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            query = rng.standard_normal(4) * 4
+            got = vafile.search(query, k=5, refine_candidates=0)
+            expected = exact_knn(tiny_collection, query, 5).tolist()
+            assert got == expected
+
+    def test_bounded_refinement_trades_quality(self, vafile, tiny_collection):
+        query = tiny_collection.vectors[10].astype(float)
+        exact = set(exact_knn(tiny_collection, query, 5).tolist())
+        tiny_budget = set(vafile.search(query, k=5, refine_candidates=5))
+        big_budget = set(vafile.search(query, k=5, refine_candidates=40))
+        assert len(big_budget & exact) >= len(tiny_budget & exact)
+        assert len(big_budget & exact) >= 4  # nearly exact with 40 refinements
+
+    def test_budget_larger_than_collection(self, vafile, tiny_collection):
+        query = tiny_collection.vectors[0].astype(float)
+        got = vafile.search(query, k=3, refine_candidates=10_000)
+        assert got == exact_knn(tiny_collection, query, 3).tolist()
+
+    def test_k_capped(self, vafile, tiny_collection):
+        got = vafile.search(np.zeros(4), k=1000)
+        assert len(got) == len(tiny_collection)
+
+    def test_validation(self, vafile):
+        with pytest.raises(ValueError):
+            vafile.search(np.zeros(4), k=0)
+        with pytest.raises(ValueError):
+            vafile.search(np.zeros(3), k=1)
+
+    def test_coarse_signatures_still_exact_in_exact_mode(self, tiny_collection):
+        """Even 1-bit signatures give valid lower bounds, so exact mode
+        stays exact (just refines more)."""
+        va = VAFile(tiny_collection, bits_per_dimension=1)
+        query = tiny_collection.vectors[3].astype(float)
+        assert va.search(query, k=4) == exact_knn(tiny_collection, query, 4).tolist()

@@ -1,0 +1,98 @@
+"""Tests for the disk and CPU cost models and the clocks."""
+
+import pytest
+
+from repro.simio.clock import SimulatedClock, WallClock
+from repro.simio.cpu_model import CpuModel
+from repro.simio.disk_model import DiskModel
+
+
+class TestDiskModel:
+    def test_positioning(self):
+        disk = DiskModel(seek_time_s=0.003, rotational_latency_s=0.004)
+        assert disk.positioning_time_s == pytest.approx(0.007)
+
+    def test_transfer_linear(self):
+        disk = DiskModel(transfer_rate_bytes_per_s=1e6)
+        assert disk.transfer_time_s(1_000_000) == pytest.approx(1.0)
+        assert disk.transfer_time_s(0) == 0.0
+
+    def test_random_read(self):
+        disk = DiskModel(
+            seek_time_s=0.01,
+            rotational_latency_s=0.0,
+            transfer_rate_bytes_per_s=1e6,
+            page_bytes=1000,
+        )
+        assert disk.random_read_time_s(5) == pytest.approx(0.01 + 0.005)
+
+    def test_sequential_read(self):
+        disk = DiskModel(
+            seek_time_s=0.01, rotational_latency_s=0.0,
+            transfer_rate_bytes_per_s=1e6,
+        )
+        assert disk.sequential_read_time_s(2_000_000) == pytest.approx(2.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskModel(seek_time_s=-1.0)
+        with pytest.raises(ValueError):
+            DiskModel(transfer_rate_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            DiskModel().random_read_time_s(0)
+        with pytest.raises(ValueError):
+            DiskModel().transfer_time_s(-5)
+
+    def test_larger_reads_cost_more(self):
+        disk = DiskModel()
+        assert disk.random_read_time_s(10) > disk.random_read_time_s(1)
+
+
+class TestCpuModel:
+    def test_linear_in_descriptors(self):
+        cpu = CpuModel(distance_time_s=1e-6, chunk_overhead_s=1e-4)
+        assert cpu.chunk_processing_time_s(0) == pytest.approx(1e-4)
+        assert cpu.chunk_processing_time_s(1000) == pytest.approx(1.1e-3)
+
+    def test_ranking_linear_in_chunks(self):
+        cpu = CpuModel(ranking_time_per_chunk_s=2e-6)
+        assert cpu.ranking_time_s(500) == pytest.approx(1e-3)
+        assert cpu.ranking_time_s(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuModel(distance_time_s=-1.0)
+        with pytest.raises(ValueError):
+            CpuModel().chunk_processing_time_s(-1)
+        with pytest.raises(ValueError):
+            CpuModel().ranking_time_s(-1)
+
+
+class TestClocks:
+    def test_simulated_clock_advances(self):
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_simulated_clock_advance_to(self):
+        clock = SimulatedClock(start=1.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+        with pytest.raises(ValueError):
+            clock.advance_to(2.0)
+
+    def test_simulated_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-0.1)
+        with pytest.raises(ValueError):
+            SimulatedClock(start=-1.0)
+
+    def test_wall_clock_moves_forward(self):
+        clock = WallClock()
+        a = clock.now()
+        clock.advance(100.0)  # no-op for wall clocks
+        b = clock.now()
+        assert b >= a
+        assert b < 1.0  # advancing simulated work did not jump wall time

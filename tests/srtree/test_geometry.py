@@ -1,0 +1,116 @@
+"""Unit and property tests for SR-tree geometry primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.srtree.geometry import Rect, Sphere
+
+points_strategy = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.integers(1, 6)),
+    elements=st.floats(-100, 100),
+)
+
+
+class TestRect:
+    def test_of_points(self):
+        rect = Rect.of_points(np.array([[0.0, 5.0], [2.0, 1.0]]))
+        np.testing.assert_allclose(rect.lows, [0.0, 1.0])
+        np.testing.assert_allclose(rect.highs, [2.0, 5.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Rect(np.array([1.0]), np.array([0.0]))
+
+    def test_union(self):
+        a = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = Rect(np.array([-1.0, 0.5]), np.array([0.5, 2.0]))
+        u = Rect.union_of([a, b])
+        np.testing.assert_allclose(u.lows, [-1.0, 0.0])
+        np.testing.assert_allclose(u.highs, [1.0, 2.0])
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.union_of([])
+
+    def test_min_dist_inside_zero(self):
+        rect = Rect(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        assert rect.min_dist(np.array([1.0, 1.0])) == 0.0
+
+    def test_min_dist_outside(self):
+        rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert rect.min_dist(np.array([4.0, 5.0])) == pytest.approx(5.0)
+
+    def test_max_dist_corner(self):
+        rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert rect.max_dist(np.array([0.0, 0.0])) == pytest.approx(np.sqrt(2))
+
+    def test_expanded_to(self):
+        rect = Rect(np.array([0.0]), np.array([1.0]))
+        grown = rect.expanded_to(np.array([5.0]))
+        assert grown.contains_point(np.array([5.0]))
+
+    def test_extents_center(self):
+        rect = Rect(np.array([0.0, 2.0]), np.array([4.0, 6.0]))
+        np.testing.assert_allclose(rect.extents(), [4.0, 4.0])
+        np.testing.assert_allclose(rect.center, [2.0, 4.0])
+
+    @given(points_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounds(self, points):
+        """min_dist lower-bounds and max_dist upper-bounds the true
+        distances to the contained points, for any query."""
+        rect = Rect.of_points(points)
+        rng = np.random.default_rng(0)
+        query = rng.uniform(-150, 150, size=points.shape[1])
+        dists = np.linalg.norm(points - query, axis=1)
+        assert rect.min_dist(query) <= dists.min() + 1e-7
+        assert rect.max_dist(query) >= dists.max() - 1e-7
+        for p in points:
+            assert rect.contains_point(p)
+
+
+class TestSphere:
+    def test_of_points_centroid(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0]])
+        sphere = Sphere.of_points(points)
+        np.testing.assert_allclose(sphere.center, [1.0, 0.0])
+        assert sphere.radius == pytest.approx(1.0)
+
+    def test_explicit_center(self):
+        sphere = Sphere.of_points(np.array([[1.0, 0.0]]), center=np.zeros(2))
+        assert sphere.radius == pytest.approx(1.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere(np.zeros(2), -0.1)
+
+    def test_min_max_dist(self):
+        sphere = Sphere(np.zeros(2), 1.0)
+        q = np.array([3.0, 0.0])
+        assert sphere.min_dist(q) == pytest.approx(2.0)
+        assert sphere.max_dist(q) == pytest.approx(4.0)
+        assert sphere.min_dist(np.array([0.5, 0.0])) == 0.0
+
+    def test_contains(self):
+        outer = Sphere(np.zeros(2), 2.0)
+        inner = Sphere(np.array([0.5, 0.0]), 1.0)
+        assert outer.contains_sphere(inner)
+        assert not inner.contains_sphere(outer)
+        assert outer.contains_point(np.array([1.9, 0.0]))
+
+    @given(points_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounds(self, points):
+        sphere = Sphere.of_points(points)
+        rng = np.random.default_rng(1)
+        query = rng.uniform(-150, 150, size=points.shape[1])
+        dists = np.linalg.norm(points - query, axis=1)
+        assert sphere.min_dist(query) <= dists.min() + 1e-7
+        assert sphere.max_dist(query) >= dists.max() - 1e-7
+        for p in points:
+            assert sphere.contains_point(p)

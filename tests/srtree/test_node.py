@@ -1,0 +1,115 @@
+"""Tests for SR-tree node summaries."""
+
+import numpy as np
+import pytest
+
+from repro.srtree.node import SRNode
+
+
+@pytest.fixture()
+def vectors(rng):
+    return rng.standard_normal((40, 3))
+
+
+def make_leaf(vectors, rows):
+    leaf = SRNode(is_leaf=True, dimensions=vectors.shape[1])
+    leaf.rows = list(rows)
+    leaf.refresh_summary(vectors)
+    return leaf
+
+
+class TestLeafSummary:
+    def test_centroid_count(self, vectors):
+        leaf = make_leaf(vectors, range(10))
+        assert leaf.count == 10
+        np.testing.assert_allclose(leaf.centroid, vectors[:10].mean(axis=0))
+
+    def test_sphere_and_rect_cover_points(self, vectors):
+        leaf = make_leaf(vectors, range(15))
+        for p in vectors[:15]:
+            assert leaf.sphere.contains_point(p)
+            assert leaf.rect.contains_point(p)
+
+    def test_empty_leaf_rejected(self, vectors):
+        leaf = SRNode(is_leaf=True, dimensions=3)
+        with pytest.raises(ValueError):
+            leaf.refresh_summary(vectors)
+
+
+class TestInternalSummary:
+    def test_weighted_centroid(self, vectors):
+        a = make_leaf(vectors, range(0, 10))
+        b = make_leaf(vectors, range(10, 40))
+        parent = SRNode(is_leaf=False, dimensions=3)
+        parent.children = [a, b]
+        parent.refresh_summary(vectors)
+        assert parent.count == 40
+        np.testing.assert_allclose(parent.centroid, vectors.mean(axis=0))
+
+    def test_region_covers_all_points(self, vectors):
+        a = make_leaf(vectors, range(0, 20))
+        b = make_leaf(vectors, range(20, 40))
+        parent = SRNode(is_leaf=False, dimensions=3)
+        parent.children = [a, b]
+        parent.refresh_summary(vectors)
+        for p in vectors:
+            assert parent.rect.contains_point(p)
+            assert parent.sphere.contains_point(p)
+
+    def test_sphere_uses_tighter_reach(self, vectors):
+        """The SR-tree sphere radius is min(sphere reach, rect reach),
+        so it can be smaller than the plain union-of-spheres radius."""
+        a = make_leaf(vectors, range(0, 20))
+        b = make_leaf(vectors, range(20, 40))
+        parent = SRNode(is_leaf=False, dimensions=3)
+        parent.children = [a, b]
+        parent.refresh_summary(vectors)
+        union_reach = max(
+            np.linalg.norm(c.centroid - parent.centroid) + c.sphere.radius
+            for c in parent.children
+        )
+        assert parent.sphere.radius <= union_reach + 1e-12
+
+    def test_empty_internal_rejected(self, vectors):
+        parent = SRNode(is_leaf=False, dimensions=3)
+        with pytest.raises(ValueError):
+            parent.refresh_summary(vectors)
+
+
+class TestDistances:
+    def test_min_dist_is_max_of_primitives(self, vectors):
+        leaf = make_leaf(vectors, range(25))
+        query = np.array([10.0, 10.0, 10.0])
+        expected = max(leaf.sphere.min_dist(query), leaf.rect.min_dist(query))
+        assert leaf.min_dist(query) == pytest.approx(expected)
+
+    def test_min_dist_lower_bounds_points(self, vectors):
+        leaf = make_leaf(vectors, range(25))
+        query = np.array([3.0, -2.0, 1.0])
+        true_min = np.linalg.norm(vectors[:25] - query, axis=1).min()
+        assert leaf.min_dist(query) <= true_min + 1e-9
+
+    def test_max_dist_upper_bounds_points(self, vectors):
+        leaf = make_leaf(vectors, range(25))
+        query = np.array([3.0, -2.0, 1.0])
+        true_max = np.linalg.norm(vectors[:25] - query, axis=1).max()
+        assert leaf.max_dist(query) >= true_max - 1e-9
+
+    def test_unsummarized_node_raises(self):
+        node = SRNode(is_leaf=True, dimensions=2)
+        with pytest.raises(ValueError):
+            node.min_dist(np.zeros(2))
+
+
+class TestStructure:
+    def test_depth_and_iter_leaves(self, vectors):
+        a = make_leaf(vectors, range(0, 20))
+        b = make_leaf(vectors, range(20, 40))
+        parent = SRNode(is_leaf=False, dimensions=3)
+        parent.children = [a, b]
+        parent.refresh_summary(vectors)
+        assert parent.depth() == 2
+        assert a.depth() == 1
+        assert list(parent.iter_leaves()) == [a, b]
+        assert len(parent) == 2
+        assert len(a) == 20

@@ -1,0 +1,118 @@
+"""Tests for the dynamic SR-tree: structure, invariants, exact search."""
+
+import numpy as np
+import pytest
+
+from repro.srtree.tree import SRTree
+
+
+def brute_knn(vectors, query, k):
+    d = np.linalg.norm(vectors - query, axis=1)
+    order = sorted(range(len(vectors)), key=lambda i: (d[i], i))[:k]
+    return [(d[i], i) for i in order]
+
+
+@pytest.fixture()
+def populated_tree(rng):
+    tree = SRTree(dimensions=4, leaf_capacity=8, internal_capacity=4)
+    points = rng.standard_normal((300, 4))
+    tree.extend(points)
+    return tree, points
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SRTree(dimensions=0)
+        with pytest.raises(ValueError):
+            SRTree(dimensions=2, leaf_capacity=1)
+        with pytest.raises(ValueError):
+            SRTree(dimensions=2, min_fill=0.9)
+
+    def test_empty_tree(self):
+        tree = SRTree(dimensions=3)
+        assert len(tree) == 0
+        assert tree.height() == 0
+        assert tree.nn_search(np.zeros(3), 1) == []
+
+    def test_single_insert(self):
+        tree = SRTree(dimensions=2)
+        row = tree.insert([1.0, 2.0])
+        assert row == 0
+        assert len(tree) == 1
+        assert tree.height() == 1
+
+    def test_dimension_mismatch(self):
+        tree = SRTree(dimensions=2)
+        with pytest.raises(ValueError):
+            tree.insert([1.0, 2.0, 3.0])
+
+
+class TestInvariants:
+    def test_validate_after_growth(self, populated_tree):
+        tree, _ = populated_tree
+        tree.validate()
+        assert len(tree) == 300
+        assert tree.height() >= 2
+
+    def test_leaf_capacity_respected(self, populated_tree):
+        tree, _ = populated_tree
+        for leaf in tree.root.iter_leaves():
+            assert 1 <= len(leaf.rows) <= tree.leaf_capacity
+
+    def test_counts_consistent(self, populated_tree):
+        tree, _ = populated_tree
+        total = sum(len(leaf.rows) for leaf in tree.root.iter_leaves())
+        assert total == 300
+
+    def test_incremental_validation(self, rng):
+        """Validate after every few inserts to catch transient corruption."""
+        tree = SRTree(dimensions=3, leaf_capacity=4, internal_capacity=3)
+        points = rng.standard_normal((60, 3))
+        for i, p in enumerate(points):
+            tree.insert(p)
+            if i % 10 == 9:
+                tree.validate()
+
+
+class TestSearch:
+    def test_exactness_vs_brute_force(self, populated_tree):
+        tree, points = populated_tree
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            query = rng.standard_normal(4)
+            for k in (1, 5, 13):
+                got = tree.nn_search(query, k)
+                expected = brute_knn(points, query, k)
+                assert [i for _, i in got] == [i for _, i in expected]
+                np.testing.assert_allclose(
+                    [d for d, _ in got], [d for d, _ in expected]
+                )
+
+    def test_query_for_inserted_point(self, populated_tree):
+        tree, points = populated_tree
+        got = tree.nn_search(points[42], 1)
+        assert got[0][1] == 42
+        assert got[0][0] == pytest.approx(0.0)
+
+    def test_k_larger_than_tree(self):
+        tree = SRTree(dimensions=2, leaf_capacity=4)
+        tree.extend(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        got = tree.nn_search(np.zeros(2), 10)
+        assert len(got) == 2
+
+    def test_dimension_mismatch(self, populated_tree):
+        tree, _ = populated_tree
+        with pytest.raises(ValueError):
+            tree.nn_search(np.zeros(3), 1)
+
+
+class TestClusteredData:
+    def test_clustered_inserts_stay_exact(self, tiny_collection):
+        tree = SRTree(dimensions=4, leaf_capacity=6, internal_capacity=3)
+        tree.extend(tiny_collection.vectors.astype(float))
+        tree.validate()
+        query = tiny_collection.vectors[0].astype(float)
+        got = tree.nn_search(query, 8)
+        expected = brute_knn(tiny_collection.vectors.astype(float), query, 8)
+        assert [i for _, i in got] == [i for _, i in expected]

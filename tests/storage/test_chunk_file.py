@@ -1,0 +1,93 @@
+"""Tests for the chunk file writer/reader."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.storage.chunk_file import ChunkFileReader, ChunkFileWriter
+from repro.storage.pages import PageGeometry
+
+
+def chunk_data(n, dims, offset=0):
+    ids = np.arange(offset, offset + n)
+    vectors = np.arange(n * dims, dtype=np.float32).reshape(n, dims) + offset
+    return ids, vectors
+
+
+class TestWriter:
+    def test_extents_sequential_and_padded(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        geometry = PageGeometry(256)
+        with ChunkFileWriter(path, dimensions=4, geometry=geometry) as writer:
+            e1 = writer.write_chunk(*chunk_data(10, 4))  # 200 B -> 1 page
+            e2 = writer.write_chunk(*chunk_data(20, 4))  # 400 B -> 2 pages
+            e3 = writer.write_chunk(*chunk_data(1, 4))  # 20 B -> 1 page
+        assert (e1.page_offset, e1.page_count) == (0, 1)
+        assert (e2.page_offset, e2.page_count) == (1, 2)
+        assert (e3.page_offset, e3.page_count) == (3, 1)
+        import os
+
+        assert os.path.getsize(path) == 4 * 256  # fully padded
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = ChunkFileWriter(str(tmp_path / "x.dat"), dimensions=2)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write_chunk(*chunk_data(1, 2))
+
+    def test_in_memory_stream(self):
+        stream = io.BytesIO()
+        writer = ChunkFileWriter(stream, dimensions=3, geometry=PageGeometry(128))
+        writer.write_chunk(*chunk_data(5, 3))
+        writer.close()
+        assert len(stream.getvalue()) == 128
+
+
+class TestRoundtrip:
+    def test_write_read_many_chunks(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        geometry = PageGeometry(512)
+        payloads = [chunk_data(n, 6, offset=n * 100) for n in (1, 7, 30, 2)]
+        with ChunkFileWriter(path, dimensions=6, geometry=geometry) as writer:
+            extents = [writer.write_chunk(ids, vecs) for ids, vecs in payloads]
+        with ChunkFileReader(path, dimensions=6, geometry=geometry) as reader:
+            for (ids, vecs), extent in zip(payloads, extents):
+                out_ids, out_vecs = reader.read_chunk(extent)
+                np.testing.assert_array_equal(out_ids, ids)
+                np.testing.assert_array_equal(out_vecs, vecs)
+
+    def test_random_access_order(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        with ChunkFileWriter(path, dimensions=2) as writer:
+            extents = [
+                writer.write_chunk(*chunk_data(n, 2, offset=n)) for n in (3, 5, 2)
+            ]
+        with ChunkFileReader(path, dimensions=2) as reader:
+            # Read in reverse order.
+            for n, extent in zip((2, 5, 3), reversed(extents)):
+                ids, _ = reader.read_chunk(extent)
+                assert ids.shape[0] == n
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        with ChunkFileWriter(path, dimensions=2) as writer:
+            extent = writer.write_chunk(*chunk_data(4, 2))
+        # Chop the file short.
+        with open(path, "r+b") as f:
+            f.truncate(10)
+        with ChunkFileReader(path, dimensions=2) as reader:
+            with pytest.raises(IOError, match="truncated"):
+                reader.read_chunk(extent)
+
+    def test_geometry_mismatch_breaks_reads(self, tmp_path):
+        """Reading with the wrong page size returns garbage offsets — the
+        reader must at least not crash silently on record alignment."""
+        path = str(tmp_path / "chunks.dat")
+        with ChunkFileWriter(path, dimensions=2, geometry=PageGeometry(256)) as w:
+            w.write_chunk(*chunk_data(4, 2))
+            extent = w.write_chunk(*chunk_data(4, 2, offset=50))
+        reader = ChunkFileReader(path, dimensions=2, geometry=PageGeometry(128))
+        ids, _ = reader.read_chunk(extent)  # wrong page size -> wrong chunk
+        assert not np.array_equal(ids, np.arange(50, 54))
+        reader.close()

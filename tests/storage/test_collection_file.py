@@ -1,0 +1,61 @@
+"""Tests for the raw collection file format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.storage.collection_file import (
+    COLLECTION_MAGIC,
+    read_collection_file,
+    write_collection_file,
+)
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tiny_collection, tmp_path):
+        path = str(tmp_path / "descriptors.dat")
+        write_collection_file(path, tiny_collection)
+        loaded = read_collection_file(path)
+        assert loaded == tiny_collection
+
+    def test_stream_roundtrip(self, small_synthetic):
+        stream = io.BytesIO()
+        write_collection_file(stream, small_synthetic)
+        stream.seek(0)
+        loaded = read_collection_file(stream)
+        assert loaded == small_synthetic
+
+    def test_100_byte_records(self, small_synthetic, tmp_path):
+        """The paper's arithmetic: 24-d records consume 100 bytes each."""
+        import os
+
+        path = str(tmp_path / "c.dat")
+        write_collection_file(path, small_synthetic)
+        size = os.path.getsize(path)
+        expected = 24 + len(small_synthetic) * 100 + len(small_synthetic) * 8
+        assert size == expected
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(IOError, match="magic"):
+            read_collection_file(io.BytesIO(b"WRONG!!!" + b"\x00" * 100))
+
+    def test_short_header(self):
+        with pytest.raises(IOError, match="too short"):
+            read_collection_file(io.BytesIO(b"\x00" * 3))
+
+    def test_truncated_records(self, tiny_collection):
+        stream = io.BytesIO()
+        write_collection_file(stream, tiny_collection)
+        data = stream.getvalue()
+        with pytest.raises(IOError, match="truncated"):
+            read_collection_file(io.BytesIO(data[: len(data) // 2]))
+
+    def test_truncated_image_ids(self, tiny_collection):
+        stream = io.BytesIO()
+        write_collection_file(stream, tiny_collection)
+        data = stream.getvalue()
+        with pytest.raises(IOError, match="image ids"):
+            read_collection_file(io.BytesIO(data[:-4]))

@@ -1,0 +1,91 @@
+"""Failure-injection fuzzing of the binary file formats.
+
+Random corruption of serialized bytes must surface as clean IOError /
+ValueError exceptions (or a successful parse of coincidentally valid
+bytes) — never as unhandled crashes or silent wrong shapes.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunk import ChunkMeta
+from repro.storage.collection_file import (
+    read_collection_file,
+    write_collection_file,
+)
+from repro.storage.index_file import read_index_file, write_index_file
+
+
+def _corrupt(data: bytes, position: int, new_byte: int) -> bytes:
+    position %= max(1, len(data))
+    return data[:position] + bytes([new_byte]) + data[position + 1 :]
+
+
+@pytest.fixture(scope="module")
+def collection_bytes():
+    from repro.core.dataset import DescriptorCollection
+
+    rng = np.random.default_rng(0)
+    collection = DescriptorCollection.from_vectors(
+        rng.standard_normal((30, 5)).astype(np.float32)
+    )
+    stream = io.BytesIO()
+    write_collection_file(stream, collection)
+    return stream.getvalue()
+
+
+@pytest.fixture(scope="module")
+def index_bytes():
+    rng = np.random.default_rng(1)
+    metas = [
+        ChunkMeta(
+            chunk_id=i,
+            centroid=rng.standard_normal(5),
+            radius=float(rng.random()),
+            n_descriptors=5,
+            page_offset=i,
+            page_count=1,
+        )
+        for i in range(6)
+    ]
+    stream = io.BytesIO()
+    write_index_file(stream, metas)
+    return stream.getvalue()
+
+
+class TestCollectionFileFuzz:
+    @given(st.integers(0, 10**6), st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_byte_flip_never_crashes(self, collection_bytes, position, new_byte):
+        corrupted = _corrupt(collection_bytes, position, new_byte)
+        try:
+            loaded = read_collection_file(io.BytesIO(corrupted))
+            # Parse succeeded: structure must still be coherent.
+            assert loaded.vectors.shape[0] == loaded.ids.shape[0]
+        except (IOError, ValueError):
+            pass  # clean rejection is the expected failure mode
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_never_crashes(self, collection_bytes, cut):
+        truncated = collection_bytes[: max(0, len(collection_bytes) - cut)]
+        try:
+            read_collection_file(io.BytesIO(truncated))
+        except (IOError, ValueError):
+            pass
+
+
+class TestIndexFileFuzz:
+    @given(st.integers(0, 10**6), st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_byte_flip_never_crashes(self, index_bytes, position, new_byte):
+        corrupted = _corrupt(index_bytes, position, new_byte)
+        try:
+            metas = read_index_file(io.BytesIO(corrupted))
+            assert all(m.chunk_id == i for i, m in enumerate(metas))
+        except (IOError, ValueError, OverflowError):
+            pass

@@ -1,0 +1,98 @@
+"""Tests for the index-file codec."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.chunk import ChunkMeta
+from repro.storage.index_file import (
+    MAGIC,
+    index_file_bytes,
+    read_index_file,
+    write_index_file,
+)
+
+
+def make_metas(n, dims=4):
+    rng = np.random.default_rng(0)
+    metas = []
+    offset = 0
+    for i in range(n):
+        pages = int(rng.integers(1, 5))
+        metas.append(
+            ChunkMeta(
+                chunk_id=i,
+                centroid=rng.standard_normal(dims),
+                radius=float(rng.random()),
+                n_descriptors=int(rng.integers(1, 100)),
+                page_offset=offset,
+                page_count=pages,
+            )
+        )
+        offset += pages
+    return metas
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "chunks.idx")
+        metas = make_metas(7)
+        write_index_file(path, metas)
+        loaded = read_index_file(path)
+        assert len(loaded) == 7
+        for a, b in zip(metas, loaded):
+            assert a.chunk_id == b.chunk_id
+            np.testing.assert_allclose(a.centroid, b.centroid)
+            assert a.radius == pytest.approx(b.radius)
+            assert a.n_descriptors == b.n_descriptors
+            assert (a.page_offset, a.page_count) == (b.page_offset, b.page_count)
+
+    def test_stream_roundtrip(self):
+        stream = io.BytesIO()
+        metas = make_metas(3, dims=24)
+        write_index_file(stream, metas)
+        stream.seek(0)
+        loaded = read_index_file(stream)
+        assert len(loaded) == 3
+
+    def test_size_matches_prediction(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "chunks.idx")
+        metas = make_metas(11, dims=24)
+        write_index_file(path, metas)
+        assert os.path.getsize(path) == index_file_bytes(11, 24)
+
+
+class TestValidation:
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_index_file(str(tmp_path / "e.idx"), [])
+
+    def test_out_of_order_rejected(self, tmp_path):
+        metas = make_metas(3)
+        metas[1], metas[2] = metas[2], metas[1]
+        with pytest.raises(ValueError, match="chunk order"):
+            write_index_file(str(tmp_path / "o.idx"), metas)
+
+    def test_bad_magic(self):
+        stream = io.BytesIO(b"NOTMAGIC" + b"\x00" * 100)
+        with pytest.raises(IOError, match="magic"):
+            read_index_file(stream)
+
+    def test_truncated_header(self):
+        with pytest.raises(IOError, match="too short"):
+            read_index_file(io.BytesIO(b"\x00" * 4))
+
+    def test_truncated_entries(self, tmp_path):
+        path = str(tmp_path / "t.idx")
+        write_index_file(path, make_metas(5))
+        with open(path, "r+b") as f:
+            size = f.seek(0, 2)
+            f.truncate(size - 10)
+        with pytest.raises(IOError, match="truncated"):
+            read_index_file(path)
+
+    def test_magic_constant(self):
+        assert MAGIC == b"EFF2CIDX"

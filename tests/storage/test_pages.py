@@ -1,0 +1,55 @@
+"""Tests for page geometry arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.pages import DEFAULT_PAGE_BYTES, PageGeometry
+
+
+class TestPageGeometry:
+    def test_default_size(self):
+        assert PageGeometry().page_bytes == DEFAULT_PAGE_BYTES == 8192
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PageGeometry(0)
+
+    def test_pages_for(self):
+        g = PageGeometry(100)
+        assert g.pages_for(0) == 1
+        assert g.pages_for(1) == 1
+        assert g.pages_for(100) == 1
+        assert g.pages_for(101) == 2
+        assert g.pages_for(1000) == 10
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            PageGeometry().pages_for(-1)
+
+    def test_padding(self):
+        g = PageGeometry(100)
+        assert g.padding_for(30) == 70
+        assert g.padding_for(100) == 0
+        assert g.padded_size(150) == 200
+
+    def test_byte_offset(self):
+        g = PageGeometry(100)
+        assert g.byte_offset(0) == 0
+        assert g.byte_offset(7) == 700
+        with pytest.raises(ValueError):
+            g.byte_offset(-1)
+
+    def test_equality(self):
+        assert PageGeometry(512) == PageGeometry(512)
+        assert PageGeometry(512) != PageGeometry(1024)
+
+    @given(st.integers(1, 10_000), st.integers(0, 10_000_000))
+    @settings(max_examples=100, deadline=None)
+    def test_property_padding_consistent(self, page_bytes, payload):
+        g = PageGeometry(page_bytes)
+        pages = g.pages_for(payload)
+        padded = g.padded_size(payload)
+        assert padded == pages * page_bytes
+        assert padded >= max(payload, 1)
+        assert 0 <= g.padding_for(payload) < page_bytes or payload == 0

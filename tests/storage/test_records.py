@@ -1,0 +1,69 @@
+"""Tests for the 100-byte descriptor record codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.storage.records import RecordCodec
+
+
+class TestRecordCodec:
+    def test_paper_layout_is_100_bytes(self):
+        assert RecordCodec(24).record_bytes == 100
+
+    def test_roundtrip(self):
+        codec = RecordCodec(4)
+        ids = np.array([7, 42, 1])
+        vectors = np.arange(12, dtype=np.float32).reshape(3, 4)
+        buffer = codec.encode(ids, vectors)
+        assert len(buffer) == 3 * codec.record_bytes
+        out_ids, out_vectors = codec.decode(buffer)
+        np.testing.assert_array_equal(out_ids, ids)
+        np.testing.assert_array_equal(out_vectors, vectors)
+        assert out_ids.dtype == np.int64
+
+    def test_empty_roundtrip(self):
+        codec = RecordCodec(3)
+        ids, vectors = codec.decode(codec.encode(np.empty(0), np.empty((0, 3))))
+        assert ids.size == 0 and vectors.shape == (0, 3)
+
+    def test_wrong_dims_rejected(self):
+        codec = RecordCodec(4)
+        with pytest.raises(ValueError):
+            codec.encode(np.array([1]), np.ones((1, 5), dtype=np.float32))
+
+    def test_unparallel_rejected(self):
+        codec = RecordCodec(2)
+        with pytest.raises(ValueError):
+            codec.encode(np.array([1, 2]), np.ones((1, 2), dtype=np.float32))
+
+    def test_id_overflow_rejected(self):
+        codec = RecordCodec(2)
+        with pytest.raises(ValueError, match="int32"):
+            codec.encode(np.array([2**40]), np.ones((1, 2), dtype=np.float32))
+
+    def test_partial_record_rejected(self):
+        codec = RecordCodec(2)
+        with pytest.raises(ValueError, match="whole number"):
+            codec.decode(b"\x00" * (codec.record_bytes + 1))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            RecordCodec(0)
+
+    @given(
+        hnp.arrays(
+            np.float32,
+            st.tuples(st.integers(1, 20), st.integers(1, 32)),
+            elements=st.floats(-1e6, 1e6, width=32),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, vectors):
+        codec = RecordCodec(vectors.shape[1])
+        ids = np.arange(vectors.shape[0])
+        out_ids, out_vectors = codec.decode(codec.encode(ids, vectors))
+        np.testing.assert_array_equal(out_ids, ids)
+        np.testing.assert_array_equal(out_vectors, vectors)

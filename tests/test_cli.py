@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_RUNNERS, main
+
+
+class TestListAndDemo:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "table1" in out and "fig7" in out
+        assert sorted(out) == sorted(EXPERIMENT_RUNNERS)
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "exact search" in out
+        assert "precision@10" in out
+
+    def test_collection_stats(self, capsys):
+        assert main(["collection", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "descriptors" in out
+        assert "dimensions:      24" in out
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys, experiment_data):
+        # experiment_data fixture pre-warms the TEST scale cache, so this
+        # only renders.
+        assert main(["experiment", "table1", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "[table1]" in out
+        assert "SMALL" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "bogus", "--scale", "test"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "table1", "--scale", "galactic"])
+
+
+class TestFileWorkflow:
+    def test_generate_build_query_image_query(self, tmp_path, capsys):
+        from repro.cli import main
+
+        coll = str(tmp_path / "coll.dat")
+        sysdir = str(tmp_path / "sys")
+        assert main(["generate", coll, "--scale", "test"]) == 0
+        assert main(["build", coll, sysdir, "--chunker", "sr"]) == 0
+        assert main(["query", sysdir, coll, "--row", "3", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "exact=True" in out
+        assert main(["image-query", sysdir, coll, "--image", "1", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "query image 1" in out
+
+    def test_query_row_out_of_range(self, tmp_path):
+        import pytest
+
+        from repro.cli import main
+
+        coll = str(tmp_path / "c.dat")
+        sysdir = str(tmp_path / "s")
+        main(["generate", coll, "--scale", "test"])
+        main(["build", coll, sysdir])
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["query", sysdir, coll, "--row", "99999999"])
+
+    def test_build_with_each_chunker(self, tmp_path):
+        from repro.cli import main
+
+        coll = str(tmp_path / "c2.dat")
+        main(["generate", coll, "--scale", "test"])
+        for chunker in ("hybrid", "tsvq"):
+            sysdir = str(tmp_path / f"sys-{chunker}")
+            assert main(
+                ["build", coll, sysdir, "--chunker", chunker, "--chunk-size", "64"]
+            ) == 0
