@@ -1,0 +1,127 @@
+"""Batch engine throughput: coalesced batch execution vs the sequential
+per-query loop.
+
+The batch engine amortizes chunk ranking, chunk reads, and the float64
+promotion of chunk contents across a query batch; on the seed synthetic
+workload it must deliver at least 3x the sequential throughput at batch
+size 64 (the acceptance bar for the batched-query-engine change).
+
+Also runnable standalone for CI, writing a JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py --quick \
+        --output batch_engine_bench.json
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.batch_search import BatchChunkSearcher
+from repro.core.search import ChunkSearcher
+
+BATCH_SIZE = 64
+REPEATS = 3
+
+
+def _best_of(fn, repeats=REPEATS):
+    """Best wall-clock of ``repeats`` runs (insulates from scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_speedup(index, queries, k, cost_model):
+    """(sequential_s, batch_s, speedup) for one batch of queries."""
+    sequential = ChunkSearcher(index, cost_model=cost_model)
+    batch = BatchChunkSearcher(index, cost_model=cost_model)
+
+    def run_sequential():
+        for query in queries:
+            sequential.search(query, k=k)
+
+    def run_batch():
+        batch.search_batch(queries, k=k)
+
+    # Warm both paths once (page cache, BLAS thread pools) before timing.
+    run_batch()
+    run_sequential()
+    sequential_s = _best_of(run_sequential)
+    batch_s = _best_of(run_batch)
+    return sequential_s, batch_s, sequential_s / batch_s
+
+
+def bench_batch_engine(benchmark, data):
+    built = data.built("SR", "SMALL")
+    queries = data.workloads["DQ"].queries[:BATCH_SIZE]
+    k = data.scale.k
+    model = data.scale.cost_model
+
+    sequential_s, batch_s, speedup = measure_speedup(
+        built.index, queries, k, model
+    )
+    benchmark.pedantic(
+        lambda: BatchChunkSearcher(built.index, cost_model=model).search_batch(
+            queries, k=k
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"batch size {len(queries)}: sequential {sequential_s * 1e3:.1f} ms, "
+        f"batch {batch_s * 1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"batch engine speedup {speedup:.2f}x below the 3x acceptance bar"
+    )
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import os
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the test scale (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write results to this JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.config import get_scale
+    from repro.experiments.data import prepare
+
+    scale = get_scale("test" if args.quick else "default")
+    data = prepare(scale)
+    built = data.built("SR", "SMALL")
+    queries = data.workloads["DQ"].queries
+    batch_size = min(BATCH_SIZE, queries.shape[0])
+    sequential_s, batch_s, speedup = measure_speedup(
+        built.index, queries[:batch_size], data.scale.k, data.scale.cost_model
+    )
+    report = {
+        "scale": scale.name,
+        "batch_size": batch_size,
+        "k": data.scale.k,
+        "sequential_s": sequential_s,
+        "batch_s": batch_s,
+        "speedup": speedup,
+    }
+    print(json.dumps(report, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {os.path.abspath(args.output)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

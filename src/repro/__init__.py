@@ -41,6 +41,8 @@ from .chunking import (
     estimate_mpi,
 )
 from .core import (
+    BatchChunkSearcher,
+    BatchSearchResult,
     ChunkIndex,
     ChunkIndexMaintainer,
     EpsilonApproximation,
@@ -55,6 +57,7 @@ from .core import (
     TimeBudget,
     build_chunk_index,
     exact_knn,
+    exact_knn_batch,
     precision_at_k,
 )
 from .simio import PAPER_2005_COST_MODEL, CostModel, CpuModel, DiskModel
@@ -72,6 +75,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BagClusterer",
+    "BatchChunkSearcher",
+    "BatchSearchResult",
     "Chunker",
     "ChunkingResult",
     "HybridChunker",
@@ -93,6 +98,7 @@ __all__ = [
     "TimeBudget",
     "build_chunk_index",
     "exact_knn",
+    "exact_knn_batch",
     "precision_at_k",
     "PAPER_2005_COST_MODEL",
     "CostModel",

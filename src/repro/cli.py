@@ -7,6 +7,7 @@ Usage::
     repro experiment all [--scale test]
     repro collection [--scale test]          # collection statistics
     repro demo                               # tiny end-to-end search demo
+    repro batch-search SYSTEM COLLECTION     # batched queries + throughput
 
 The experiment subcommand regenerates the paper artefacts (Tables 1-2,
 Figures 1-7) and the ablations, printing each as fixed-width text.
@@ -116,6 +117,29 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--chunk-size", type=int, default=0,
         help="target descriptors per chunk (0 = auto)",
+    )
+
+    batch = sub.add_parser(
+        "batch-search",
+        help="run a batch of descriptor queries through the batch engine",
+    )
+    batch.add_argument("system", help="directory of a built system")
+    batch.add_argument("collection", help="collection file to take queries from")
+    batch.add_argument(
+        "--batch", type=int, default=64, help="queries per batch (first N rows)"
+    )
+    batch.add_argument("--k", type=int, default=10)
+    batch.add_argument(
+        "--chunks", type=int, default=0,
+        help="approximation budget in chunks (0 = exact)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1,
+        help="thread count for wall-clock parallelism (results unchanged)",
+    )
+    batch.add_argument(
+        "--compare-sequential", action="store_true",
+        help="also time the per-query loop and report the speedup",
     )
 
     query = sub.add_parser(
@@ -278,6 +302,54 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_search(args: argparse.Namespace) -> int:
+    import time
+
+    from .storage.collection_file import read_collection_file
+    from .system import ImageRetrievalSystem
+
+    system = ImageRetrievalSystem.load(args.system)
+    collection = read_collection_file(args.collection)
+    if args.batch < 1:
+        raise SystemExit(f"--batch must be at least 1, got {args.batch}")
+    if len(collection) == 0:
+        raise SystemExit(f"collection {args.collection} holds no descriptors")
+    n = min(args.batch, len(collection))
+    queries = collection.vectors[:n].astype(float)
+    if args.chunks > 0:
+        system.default_stop_chunks = args.chunks
+        exact = False
+    else:
+        exact = True
+
+    start = time.perf_counter()
+    batch = system.find_similar_descriptors_batch(
+        queries, k=args.k, exact=exact, workers=args.workers
+    )
+    batch_wall_s = time.perf_counter() - start
+
+    completed = sum(1 for r in batch if r.completed)
+    print(f"batch of {len(batch)} queries (k={args.k}, workers={args.workers}):")
+    print(f"  chunks read:        {batch.total_chunks_read}")
+    print(f"  mean simulated:     {batch.mean_elapsed_s * 1000:.1f} ms/query")
+    print(f"  exact completions:  {completed}/{len(batch)}")
+    print(
+        f"  wall clock:         {batch_wall_s:.3f} s "
+        f"({len(batch) / batch_wall_s:.1f} queries/s)"
+    )
+    if args.compare_sequential:
+        start = time.perf_counter()
+        for row in range(n):
+            system.find_similar_descriptors(queries[row], k=args.k, exact=exact)
+        sequential_wall_s = time.perf_counter() - start
+        print(
+            f"  sequential loop:    {sequential_wall_s:.3f} s "
+            f"({n / sequential_wall_s:.1f} queries/s)"
+        )
+        print(f"  batch speedup:      {sequential_wall_s / batch_wall_s:.2f}x")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from .storage.collection_file import read_collection_file
     from .system import ImageRetrievalSystem
@@ -331,6 +403,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "generate": _cmd_generate,
     "build": _cmd_build,
+    "batch-search": _cmd_batch_search,
     "query": _cmd_query,
     "image-query": _cmd_image_query,
 }

@@ -20,6 +20,7 @@ from .approx_rules import (
     PacApproximation,
     estimate_epsilon,
 )
+from .batch_search import BatchChunkSearcher, BatchSearchResult
 from .chunk import Chunk, ChunkMeta, ChunkSet
 from .chunk_index import ChunkIndex, build_chunk_index
 from .dataset import DEFAULT_DIMENSIONS, DescriptorCollection
@@ -50,6 +51,8 @@ from .stop_rules import (
 from .trace import SearchTrace, TraceEvent
 
 __all__ = [
+    "BatchChunkSearcher",
+    "BatchSearchResult",
     "DistanceDistribution",
     "EpsilonApproximation",
     "PacApproximation",

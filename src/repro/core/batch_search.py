@@ -1,0 +1,560 @@
+"""Batched execution of the approximate chunk search.
+
+The paper's whole methodology is workload-shaped: every figure and table
+comes from running hundreds of queries against the same chunk index.  The
+sequential :class:`~repro.core.search.ChunkSearcher` re-ranks the centroids
+and re-reads the same chunks once *per query*; this module amortizes that
+work across a query batch while keeping each query's observable outcome —
+neighbors, stop reason, trace, simulated elapsed time — identical to what
+the sequential searcher produces:
+
+* **vectorized ranking** — chunk ranking for the whole ``(q, d)`` batch is
+  one :func:`~repro.core.distance.pairwise_squared_distances` call plus a
+  batched lexsort, replacing ``q`` independent centroid scans;
+* **coalesced chunk reads** — execution is scheduled chunk-major: within a
+  batch each chunk is fetched from the store at most once (and its float32
+  descriptor matrix promoted to float64 exactly once), then scanned against
+  every query currently positioned on it with one ``(q_active, n_chunk)``
+  kernel call;
+* **per-query timing model** — every query owns its own
+  :class:`~repro.simio.pipeline.PipelineSimulator`, so simulated time is
+  charged per query exactly as the paper measures it: sharing wall-clock
+  work across a batch never changes a simulated timestamp;
+* **parallel wall-clock mode** — ``workers > 1`` shards the batch over a
+  thread pool (the distance kernels release the GIL), which changes only
+  how fast the host finishes, never the per-query results.
+
+When the cost model carries a shared :class:`~repro.simio.cache.LruPageCache`
+the simulated I/O charge of a chunk depends on the global order of page
+touches, so the engine falls back to query-major execution (query 0 runs to
+its stop, then query 1, ...) — the exact touch order of the sequential
+loop — while still coalescing the *contents* reads through the batch cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..parallel import resolve_workers, run_parallel, shard
+from ..simio.calibration import PAPER_2005_COST_MODEL
+from ..simio.pipeline import CostModel
+from .chunk_index import ChunkIndex
+from .distance import pairwise_squared_distances
+from .neighbors import NeighborSet
+from .search import (
+    RANK_BY_CENTROID,
+    RANK_BY_LOWER_BOUND,
+    SearchResult,
+)
+from .stop_rules import ExactCompletion, SearchProgress, StopRule
+from .trace import SearchTrace, TraceEvent
+
+__all__ = ["BatchChunkSearcher", "BatchSearchResult"]
+
+
+@dataclasses.dataclass
+class BatchSearchResult:
+    """Per-query :class:`SearchResult` list plus batch-level conveniences.
+
+    The batch engine's contract is that ``results[i]`` is what
+    ``ChunkSearcher.search(queries[i], ...)`` would have returned; this
+    wrapper only adds aggregate views, it never merges query outcomes.
+    """
+
+    results: List[SearchResult]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> SearchResult:
+        return self.results[i]
+
+    def neighbor_ids_matrix(self) -> np.ndarray:
+        """``(n_queries, k_found)`` id matrix, padded with -1 for queries
+        that found fewer neighbors than the widest result."""
+        if not self.results:
+            return np.empty((0, 0), dtype=np.int64)
+        width = max(len(r.neighbors) for r in self.results)
+        out = np.full((len(self.results), width), -1, dtype=np.int64)
+        for row, result in enumerate(self.results):
+            ids = result.neighbor_ids()
+            out[row, : ids.shape[0]] = ids
+        return out
+
+    def stop_reasons(self) -> List[str]:
+        return [r.stop_reason for r in self.results]
+
+    def elapsed_s(self) -> np.ndarray:
+        """Simulated per-query elapsed seconds (the paper's clock)."""
+        return np.asarray([r.elapsed_s for r in self.results], dtype=np.float64)
+
+    def traces(self) -> List[SearchTrace]:
+        return [r.trace for r in self.results]
+
+    @property
+    def total_chunks_read(self) -> int:
+        return int(sum(r.chunks_read for r in self.results))
+
+    @property
+    def mean_elapsed_s(self) -> float:
+        return float(self.elapsed_s().mean()) if self.results else 0.0
+
+
+class _QueryState:
+    """Mutable per-query execution state inside one batch.
+
+    The timing state is three floats replicating the
+    :class:`~repro.simio.pipeline.PipelineSimulator` recurrence inline
+    (``prev_read``/``prev_proc``/``drained`` are ``R[i-1]``/``C[i-1]``/
+    ``C[i-2]``); ``simulator`` is only instantiated for shared-page-cache
+    cost models, whose per-chunk I/O charge is stateful.
+    """
+
+    __slots__ = (
+        "position",
+        "query",
+        "k",
+        "order",
+        "suffix_list",
+        "n_ranks",
+        "simulator",
+        "prev_read",
+        "prev_proc",
+        "drained",
+        "trace",
+        "events",
+        "neighbors",
+        "n_found",
+        "kth",
+        "stop_rule",
+        "truth",
+        "matches",
+        "rank0",
+        "stop_reason",
+        "completed",
+        "done",
+    )
+
+    def __init__(
+        self,
+        position: int,
+        query: np.ndarray,
+        k: int,
+        order: np.ndarray,
+        suffix_min: np.ndarray,
+        start_s: float,
+        stop_rule: StopRule,
+        truth: Optional[frozenset],
+        simulator=None,
+    ):
+        self.position = position
+        self.query = query
+        self.k = k
+        # Plain Python lists: the execution loop touches one element per
+        # event, where numpy scalar extraction would dominate.
+        self.order = order.tolist()
+        self.suffix_list = suffix_min.tolist()
+        self.n_ranks = len(self.order)
+        self.simulator = simulator
+        self.prev_read = start_s
+        self.prev_proc = start_s
+        self.drained = start_s
+        self.trace = SearchTrace(start_elapsed_s=start_s)
+        self.events = self.trace.events
+        self.neighbors = NeighborSet(k)
+        # Mirrors of len(neighbors) / neighbors.kth_distance, refreshed
+        # only when an update admits candidates.
+        self.n_found = 0
+        self.kth = math.inf
+        self.stop_rule = stop_rule
+        self.truth = truth
+        # Match count after the latest chunk; valid whenever truth is set
+        # because an empty neighbor set holds zero true neighbors.
+        self.matches = 0 if truth is not None else -1
+        self.rank0 = 0
+        self.stop_reason = "exhausted"
+        self.completed = False
+        self.done = False
+
+    @property
+    def next_chunk(self) -> int:
+        return self.order[self.rank0]
+
+    def finish(self, stop_reason: str, completed: bool) -> None:
+        self.stop_reason = stop_reason
+        self.completed = completed
+        self.done = True
+
+    def to_result(self) -> SearchResult:
+        return SearchResult(
+            neighbors=self.neighbors.sorted(),
+            trace=self.trace,
+            stop_reason=self.stop_reason,
+            completed=self.completed,
+        )
+
+
+class BatchChunkSearcher:
+    """Executes a whole query batch against one :class:`ChunkIndex`.
+
+    Construction mirrors :class:`~repro.core.search.ChunkSearcher` (same
+    index, cost model, and ranking rule); :meth:`search_batch` is the batch
+    counterpart of ``search``.
+    """
+
+    def __init__(
+        self,
+        index: ChunkIndex,
+        cost_model: CostModel = PAPER_2005_COST_MODEL,
+        rank_by: str = RANK_BY_CENTROID,
+    ):
+        if rank_by not in (RANK_BY_CENTROID, RANK_BY_LOWER_BOUND):
+            raise ValueError(f"unknown ranking rule {rank_by!r}")
+        self.index = index
+        self.cost_model = cost_model
+        self.rank_by = rank_by
+        self._centroids = index.centroid_matrix()
+        self._radii = index.radius_vector()
+        self._counts = index.descriptor_counts()
+        self._pages = index.page_counts()
+        # Per-chunk scalars as plain Python values: the execution loop
+        # touches these once per (query, chunk) event, where repeated
+        # numpy indexing and cost-model calls would dominate.
+        self._count_list = [int(c) for c in self._counts]
+        self._page_list = [int(p) for p in self._pages]
+        self._page_offsets = [meta.page_offset for meta in index.metas]
+        self._io_cost = [
+            cost_model.disk.random_read_time_s(p) for p in self._page_list
+        ]
+        self._cpu_cost = [
+            cost_model.cpu.chunk_processing_time_s(c) for c in self._count_list
+        ]
+        self._overlap = cost_model.overlap_io_cpu
+
+    # -- ranking -------------------------------------------------------------
+
+    def rank_chunks_batch(
+        self, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rank all chunks for every query in one shot.
+
+        Returns ``(orders, suffix_min_lower_bounds)``, both of shape
+        ``(n_queries, n_chunks)`` — row ``i`` is exactly what the
+        sequential ``ChunkSearcher.rank_chunks`` computes for query ``i``:
+        chunk ids in scan order and the running minimum lower bound over
+        the not-yet-scanned suffix (the completion-proof threshold).
+        """
+        centroid_d = np.sqrt(pairwise_squared_distances(queries, self._centroids))
+        lower_bounds = np.maximum(0.0, centroid_d - self._radii[np.newaxis, :])
+        key = centroid_d if self.rank_by == RANK_BY_CENTROID else lower_bounds
+        columns = np.broadcast_to(
+            np.arange(key.shape[1]), key.shape
+        )
+        # Batched lexsort: per row, ascending key with index tie-break —
+        # the same (key, position) order the sequential lexsort produces.
+        orders = np.lexsort((columns, key), axis=-1)
+        ranked_bounds = np.take_along_axis(lower_bounds, orders, axis=1)
+        suffix_min = np.minimum.accumulate(ranked_bounds[:, ::-1], axis=1)[:, ::-1]
+        return orders, suffix_min
+
+    # -- batch search --------------------------------------------------------
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 30,
+        stop_rule: Optional[StopRule] = None,
+        true_neighbor_ids: Optional[Sequence[Optional[Sequence[int]]]] = None,
+        workers: int = 1,
+    ) -> BatchSearchResult:
+        """Run every query of a batch; per-query outcomes match
+        ``ChunkSearcher.search``.
+
+        Parameters
+        ----------
+        queries:
+            ``(n_queries, d)`` batch (a single ``(d,)`` vector is promoted).
+        k:
+            Neighbors per query (the paper uses 30 throughout).
+        stop_rule:
+            Early-termination policy shared by all queries; defaults to
+            :class:`~repro.core.stop_rules.ExactCompletion`.  The shipped
+            rules are stateless, so one instance can serve the whole batch.
+        true_neighbor_ids:
+            Optional per-query ground-truth id lists (``None`` entries skip
+            match counting for that query), enabling the paper's
+            intermediate-quality trace columns.
+        workers:
+            Thread count for wall-clock parallelism; 1 (default) runs
+            in-thread.  Results and simulated times are identical at any
+            worker count.  Ignored (forced to 1) when the cost model
+            carries a shared page cache, whose simulated state depends on
+            the global touch order.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[np.newaxis, :]
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be a (n, d) matrix, got {queries.shape}")
+        if queries.shape[0] == 0:
+            return BatchSearchResult(results=[])
+        if queries.shape[1] != self.index.dimensions:
+            raise ValueError(
+                f"queries have {queries.shape[1]} dims, "
+                f"index has {self.index.dimensions}"
+            )
+        if not np.all(np.isfinite(queries)):
+            raise ValueError("queries contain NaN or infinite components")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        n_queries = queries.shape[0]
+        if true_neighbor_ids is not None and len(true_neighbor_ids) != n_queries:
+            raise ValueError(
+                f"got {len(true_neighbor_ids)} ground-truth lists "
+                f"for {n_queries} queries"
+            )
+        stop_rule = stop_rule if stop_rule is not None else ExactCompletion()
+
+        orders, suffix_mins = self.rank_chunks_batch(queries)
+        shared_cache = self.cost_model.cache is not None
+        if not shared_cache:
+            # The start-of-query charge (index read + ranking) is
+            # query-independent; replicate start_query's arithmetic once
+            # for the whole batch.
+            batch_start_s = self.cost_model.disk.sequential_read_time_s(
+                self.index.index_bytes
+            )
+            batch_start_s += self.cost_model.cpu.ranking_time_s(
+                self.index.n_chunks
+            )
+        states = []
+        for i in range(n_queries):
+            simulator = None
+            if shared_cache:
+                simulator = self.cost_model.simulator()
+                start_s = simulator.start_query(
+                    self.index.n_chunks, self.index.index_bytes
+                )
+            else:
+                start_s = batch_start_s
+            truth_i = None
+            if true_neighbor_ids is not None and true_neighbor_ids[i] is not None:
+                truth_i = frozenset(int(x) for x in true_neighbor_ids[i])
+            states.append(
+                _QueryState(
+                    position=i,
+                    query=queries[i],
+                    k=k,
+                    order=orders[i],
+                    suffix_min=suffix_mins[i],
+                    start_s=start_s,
+                    stop_rule=stop_rule,
+                    truth=truth_i,
+                    simulator=simulator,
+                )
+            )
+
+        chunk_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        if shared_cache:
+            # Shared simulated page cache: charge I/O in the sequential
+            # loop's exact touch order (query-major).
+            for state in states:
+                self._run_query_major(state, chunk_cache)
+        else:
+            n_workers = resolve_workers(workers, len(states))
+            if n_workers <= 1:
+                self._run_chunk_major(states, chunk_cache)
+            else:
+                # Shard the batch; each shard keeps its own content cache so
+                # threads never contend on a dict (chunks hot in several
+                # shards are read once per shard, still far below once per
+                # query).
+                run_parallel(
+                    lambda group: self._run_chunk_major(group, {}),
+                    shard(states, n_workers),
+                    workers=n_workers,
+                )
+        return BatchSearchResult(results=[s.to_result() for s in states])
+
+    # -- execution internals -------------------------------------------------
+
+    def _read_chunk(
+        self, chunk_id: int, cache: Dict[int, Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Chunk contents via the per-batch cache: one store read and one
+        float64 promotion per chunk per batch."""
+        cached = cache.get(chunk_id)
+        if cached is None:
+            ids, vectors = self.index.read_chunk(chunk_id)
+            cached = (
+                np.asarray(ids, dtype=np.int64),
+                np.ascontiguousarray(vectors, dtype=np.float64),
+            )
+            cache[chunk_id] = cached
+        return cached
+
+    def _process_chunk_for_state(
+        self,
+        state: _QueryState,
+        chunk_id: int,
+        ids: np.ndarray,
+        distances: np.ndarray,
+        min_d: Optional[float] = None,
+    ) -> None:
+        """Apply one chunk's scan results to one query: timing charge,
+        neighbor update, trace event, completion proof, stop rule —
+        mirroring the sequential loop body statement for statement.
+
+        ``distances`` is the chunk's (already square-rooted) distance row;
+        ``min_d`` is its minimum when the caller computed it batched
+        (``None`` computes it here).
+        """
+        if state.simulator is not None:
+            elapsed = state.simulator.process_chunk(
+                self._page_list[chunk_id],
+                self._count_list[chunk_id],
+                page_offset=self._page_offsets[chunk_id],
+            )
+        else:
+            # PipelineSimulator.process_chunk inlined on three floats —
+            # same operations in the same order, so timestamps are
+            # bit-identical (R[i] = max(R[i-1], C[i-2]) + io;
+            # C[i] = max(R[i], C[i-1]) + cpu; serial without overlap).
+            io = self._io_cost[chunk_id]
+            cpu = self._cpu_cost[chunk_id]
+            prev_proc = state.prev_proc
+            if self._overlap:
+                read_done = max(state.prev_read, state.drained) + io
+                elapsed = max(read_done, prev_proc) + cpu
+                state.prev_read = read_done
+            else:
+                elapsed = prev_proc + io + cpu
+            state.drained = prev_proc
+            state.prev_proc = elapsed
+        neighbors = state.neighbors
+        n_found = state.n_found
+        kth = state.kth
+        if min_d is None:
+            min_d = float(distances.min()) if distances.size else math.inf
+        # A chunk whose best candidate cannot beat the current k-th
+        # neighbor admits nothing; skip the heap walk entirely.  The
+        # comparison runs in the same distance space as the update filter,
+        # so the skip is exact, not approximate.
+        if n_found < state.k or min_d <= kth:
+            if neighbors.update(distances, ids):
+                n_found = len(neighbors)
+                kth = neighbors.kth_distance
+                state.n_found = n_found
+                state.kth = kth
+                if state.truth is not None:
+                    state.matches = neighbors.true_match_count(state.truth)
+        next_rank = state.rank0 + 1
+        state.events.append(
+            TraceEvent(
+                chunk_id=chunk_id,
+                rank=next_rank,
+                elapsed_s=elapsed,
+                n_descriptors=self._count_list[chunk_id],
+                neighbors_found=n_found,
+                kth_distance=kth,
+                true_matches=state.matches,
+            )
+        )
+        remaining_lb = (
+            state.suffix_list[next_rank]
+            if next_rank < state.n_ranks
+            else math.inf
+        )
+        if n_found >= state.k and remaining_lb > kth:
+            # The completion proof (SearchProgress.completion_proven).
+            state.finish("completed", True)
+            return
+        rule = state.stop_rule
+        # ExactCompletion never stops early; skip building the progress
+        # snapshot on the default path (a measurable per-event saving).
+        if type(rule) is not ExactCompletion:
+            reason = rule.check(
+                SearchProgress(
+                    chunks_read=next_rank,
+                    elapsed_s=elapsed,
+                    neighbors_found=n_found,
+                    kth_distance=kth,
+                    remaining_lower_bound=remaining_lb,
+                )
+            )
+            if reason is not None:
+                state.finish(reason, False)
+                return
+        state.rank0 = next_rank
+        if next_rank >= state.n_ranks:
+            # Every chunk read without the proof firing early: the result
+            # is nevertheless exact (there is nothing left to read).
+            state.finish("exhausted", True)
+
+    def _run_chunk_major(
+        self,
+        states: List[_QueryState],
+        chunk_cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Coalesced execution: chunk scans are shared across the whole
+        cohort through a per-batch scan cache.
+
+        Each state runs to its stop in turn; the first time any query
+        demands a chunk, that chunk's distances are computed for *every*
+        not-yet-finished query in a single kernel call and the rows
+        cached.  A query reaching the chunk later was necessarily pending
+        when it was scanned (``done`` is absorbing and later states have
+        not started), so its row is already there — each chunk costs one
+        store read, one float64 promotion, and one kernel call per batch,
+        however the per-query rank orders interleave."""
+        scanned: Dict[int, tuple] = {}
+        for state in states:
+            process = self._process_chunk_for_state
+            order = state.order
+            position = state.position
+            while not state.done:
+                chunk_id = order[state.rank0]
+                entry = scanned.get(chunk_id)
+                if entry is None:
+                    ids, vectors = self._read_chunk(chunk_id, chunk_cache)
+                    pending = [s for s in states if not s.done]
+                    queries = np.stack([s.query for s in pending])
+                    dists = np.sqrt(
+                        pairwise_squared_distances(queries, vectors)
+                    )
+                    # Row minima batched too: the per-query skip test then
+                    # costs a list index instead of a numpy reduction.
+                    mins = (
+                        dists.min(axis=1).tolist()
+                        if dists.shape[1]
+                        else [math.inf] * dists.shape[0]
+                    )
+                    row_of = {s.position: r for r, s in enumerate(pending)}
+                    entry = (row_of, ids, dists, mins)
+                    scanned[chunk_id] = entry
+                row_of, ids, dists, mins = entry
+                row = row_of[position]
+                process(state, chunk_id, ids, dists[row], mins[row])
+
+    def _run_query_major(
+        self,
+        state: _QueryState,
+        chunk_cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Sequential-order execution for shared-cache cost models: one
+        query runs to its stop before the next one starts, so simulated
+        page touches land in exactly the per-query loop's order."""
+        while not state.done:
+            chunk_id = state.next_chunk
+            ids, vectors = self._read_chunk(chunk_id, chunk_cache)
+            distances = np.sqrt(
+                pairwise_squared_distances(state.query[np.newaxis, :], vectors)
+            )
+            self._process_chunk_for_state(state, chunk_id, ids, distances[0])

@@ -79,9 +79,12 @@ def pairwise_squared_distances(
 ) -> np.ndarray:
     """Full ``(n_queries, n_points)`` matrix of squared distances.
 
-    Computed blockwise over ``points`` to bound temporary memory.  Intended
-    for moderate query batches (workload evaluation), not for all-pairs over
-    the whole collection.
+    Computed blockwise over ``points`` to bound temporary memory, using the
+    dot-product expansion ``|q|^2 - 2 q.p + |p|^2`` (clamped at zero) so
+    each block is one BLAS matmul.  This is the hot kernel of batched chunk
+    ranking and batched chunk scans; it agrees with the direct form to
+    ~1e-9 on descriptor-scale data but is not bit-identical to
+    :func:`squared_distances` on near-duplicate pairs.
     """
     queries = _as_matrix(queries).astype(np.float64, copy=False)
     points = _as_matrix(points)
@@ -92,14 +95,20 @@ def pairwise_squared_distances(
         )
     n_q, n_p = queries.shape[0], points.shape[0]
     out = np.empty((n_q, n_p), dtype=np.float64)
+    # |q - p|^2 = |q|^2 - 2 q.p + |p|^2: one BLAS matmul per block instead
+    # of the 3-D broadcast temporary.  Cancellation can drive near-duplicate
+    # pairs a few ulps below zero, so the result is clamped at zero.
+    q_sq = np.einsum("qd,qd->q", queries, queries)
     for start in range(0, n_p, block_rows):
         stop = min(start + block_rows, n_p)
         block = points[start:stop].astype(np.float64, copy=False)
-        # (q - p)^2 expanded per block; block is small so the 3-D temporary
-        # from broadcasting is avoided via the dot-product expansion with a
-        # correction pass for exactness on near-duplicates.
-        diff = queries[:, np.newaxis, :] - block[np.newaxis, :, :]
-        out[:, start:stop] = np.einsum("qpd,qpd->qp", diff, diff)
+        p_sq = np.einsum("pd,pd->p", block, block)
+        segment = out[:, start:stop]
+        np.matmul(queries, block.T, out=segment)
+        segment *= -2.0
+        segment += q_sq[:, np.newaxis]
+        segment += p_sq[np.newaxis, :]
+        np.maximum(segment, 0.0, out=segment)
     return out
 
 

@@ -18,7 +18,12 @@ from typing import Dict, Sequence
 import numpy as np
 
 from .dataset import DescriptorCollection
-from .distance import DEFAULT_BLOCK_ROWS, squared_distances, top_k_smallest
+from .distance import (
+    DEFAULT_BLOCK_ROWS,
+    pairwise_squared_distances,
+    squared_distances,
+    top_k_smallest,
+)
 
 __all__ = ["exact_knn", "exact_knn_batch", "GroundTruthStore"]
 
@@ -62,20 +67,41 @@ def exact_knn_batch(
     collection: DescriptorCollection,
     queries: np.ndarray,
     k: int,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
 ) -> np.ndarray:
     """Exact k-NN ids for a batch of queries; shape ``(n_queries, k)``.
 
-    Requires ``k <= len(collection)``.
+    The whole batch shares each blockwise pass over the collection: one
+    :func:`~repro.core.distance.pairwise_squared_distances` kernel call per
+    block instead of ``n_queries`` scalar scans, with the running top-k
+    merged by a batched lexsort.  Ties break by ascending id, matching
+    :func:`exact_knn`.  Requires ``k <= len(collection)``.
     """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
     queries = np.asarray(queries, dtype=np.float64)
     if queries.ndim == 1:
         queries = queries[np.newaxis, :]
     if k > len(collection):
         raise ValueError(f"k={k} exceeds collection size {len(collection)}")
-    out = np.empty((queries.shape[0], k), dtype=np.int64)
-    for i, query in enumerate(queries):
-        out[i] = exact_knn(collection, query, k)
-    return out
+    n_q, n = queries.shape[0], len(collection)
+    if n_q == 0:
+        return np.empty((0, k), dtype=np.int64)
+
+    best_d = np.empty((n_q, 0), dtype=np.float64)
+    best_ids = np.empty((n_q, 0), dtype=np.int64)
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        d = pairwise_squared_distances(queries, collection.vectors[start:stop])
+        ids = np.broadcast_to(collection.ids[start:stop], d.shape)
+        merged_d = np.concatenate([best_d, d], axis=1)
+        merged_ids = np.concatenate([best_ids, ids], axis=1)
+        keep = np.lexsort((merged_ids, merged_d), axis=-1)[
+            :, : min(k, merged_d.shape[1])
+        ]
+        best_d = np.take_along_axis(merged_d, keep, axis=1)
+        best_ids = np.take_along_axis(merged_ids, keep, axis=1)
+    return best_ids
 
 
 class GroundTruthStore:

@@ -160,6 +160,15 @@ class NeighborSet:
         """Current neighbor ids as a Python set (for precision counting)."""
         return {-i for _, i in self._heap}
 
+    def true_match_count(self, truth) -> int:
+        """How many current neighbor ids appear in ``truth`` (a set).
+
+        One C-level set intersection instead of a Python-level membership
+        loop — this runs after every chunk of every query when ground truth
+        is attached, for both the sequential and the batch search paths.
+        """
+        return len(self.id_set() & truth)
+
     def __contains__(self, descriptor_id: int) -> bool:
         return -int(descriptor_id) in {i for _, i in self._heap}
 

@@ -180,7 +180,7 @@ class ChunkSearcher:
 
             matches = -1
             if truth is not None:
-                matches = sum(1 for i in neighbors.id_set() if i in truth)
+                matches = neighbors.true_match_count(truth)
             trace.append(
                 TraceEvent(
                     chunk_id=chunk_id,

@@ -28,14 +28,35 @@ import numpy as np
 from ..chunking.hybrid import HybridChunker
 from ..chunking.outliers import apply_outlier_rows, norm_fraction_outliers
 from ..chunking.srtree_chunker import SRTreeChunker
+from ..core.batch_search import BatchChunkSearcher, BatchSearchResult
 from ..core.chunk_index import build_chunk_index
 from ..core.ground_truth import GroundTruthStore
 from ..core.metrics import completion_stats, curves_from_traces, precision_at_k
 from ..core.search import RANK_BY_LOWER_BOUND, ChunkSearcher
-from ..core.stop_rules import MaxChunks, TimeBudget
+from ..core.stop_rules import MaxChunks, StopRule, TimeBudget
 from ..simio.pipeline import CostModel
 from .data import ExperimentData
 from .results import TableResult
+
+
+def _run_batch(
+    index,
+    data: ExperimentData,
+    queries,
+    truth: "GroundTruthStore | None" = None,
+    stop_rule: "StopRule | None" = None,
+    cost_model: "CostModel | None" = None,
+) -> BatchSearchResult:
+    """One batched workload run — the shared engine call of the ablations."""
+    searcher = BatchChunkSearcher(
+        index, cost_model=cost_model or data.scale.cost_model
+    )
+    truth_lists = (
+        [truth.get(i) for i in range(queries.shape[0])] if truth is not None else None
+    )
+    return searcher.search_batch(
+        queries, k=data.scale.k, stop_rule=stop_rule, true_neighbor_ids=truth_lists
+    )
 
 __all__ = [
     "run_overlap_ablation",
@@ -63,13 +84,15 @@ def _completion_traces_with(
     built = data.built(family, size_class)
     truth = data.ground_truth(size_class, workload_name)
     workload = data.workloads[workload_name]
-    searcher = ChunkSearcher(built.index, cost_model=cost_model, rank_by=rank_by)
-    return [
-        searcher.search(
-            workload.queries[i], k=data.scale.k, true_neighbor_ids=truth.get(i)
-        ).trace
-        for i in range(len(workload))
-    ]
+    searcher = BatchChunkSearcher(
+        built.index, cost_model=cost_model, rank_by=rank_by
+    )
+    batch = searcher.search_batch(
+        workload.queries,
+        k=data.scale.k,
+        true_neighbor_ids=[truth.get(i) for i in range(len(workload))],
+    )
+    return batch.traces()
 
 
 def run_overlap_ablation(data: ExperimentData) -> TableResult:
@@ -158,30 +181,25 @@ def run_stop_rule_ablation(data: ExperimentData) -> TableResult:
         built = data.built(family, "MEDIUM")
         truth = data.ground_truth("MEDIUM", "DQ")
         workload = data.workloads["DQ"]
-        searcher = ChunkSearcher(built.index, cost_model=data.scale.cost_model)
 
-        chunk_precisions: List[float] = []
-        chunk_times: List[float] = []
-        for i in range(len(workload)):
-            result = searcher.search(
-                workload.queries[i], k=data.scale.k,
-                stop_rule=MaxChunks(n_chunks_budget),
-            )
-            chunk_precisions.append(
-                precision_at_k(result.neighbor_ids(), truth.get(i))
-            )
-            chunk_times.append(result.elapsed_s)
+        chunk_batch = _run_batch(
+            built.index, data, workload.queries,
+            stop_rule=MaxChunks(n_chunks_budget),
+        )
+        chunk_precisions: List[float] = [
+            precision_at_k(r.neighbor_ids(), truth.get(i))
+            for i, r in enumerate(chunk_batch)
+        ]
 
-        time_budget = float(np.mean(chunk_times))
-        time_precisions: List[float] = []
-        for i in range(len(workload)):
-            result = searcher.search(
-                workload.queries[i], k=data.scale.k,
-                stop_rule=TimeBudget(time_budget),
-            )
-            time_precisions.append(
-                precision_at_k(result.neighbor_ids(), truth.get(i))
-            )
+        time_budget = float(chunk_batch.elapsed_s().mean())
+        time_batch = _run_batch(
+            built.index, data, workload.queries,
+            stop_rule=TimeBudget(time_budget),
+        )
+        time_precisions: List[float] = [
+            precision_at_k(r.neighbor_ids(), truth.get(i))
+            for i, r in enumerate(time_batch)
+        ]
 
         rows.append(
             [
@@ -235,13 +253,7 @@ def run_outlier_ablation(data: ExperimentData) -> TableResult:
             chunking.retained, chunking.chunk_set, name=f"SR/{name}"
         )
         truth = GroundTruthStore.compute(retained, workload.queries, data.scale.k)
-        searcher = ChunkSearcher(index, cost_model=data.scale.cost_model)
-        traces = [
-            searcher.search(
-                workload.queries[i], k=data.scale.k, true_neighbor_ids=truth.get(i)
-            ).trace
-            for i in range(len(workload))
-        ]
+        traces = _run_batch(index, data, workload.queries, truth=truth).traces()
         curves = curves_from_traces(traces, data.scale.k)
         rows.append(
             [
@@ -294,14 +306,7 @@ def run_hybrid_ablation(data: ExperimentData) -> TableResult:
         else:
             chunking = chunker.form_chunks(retained)
             index = build_chunk_index(chunking.retained, chunking.chunk_set, name=label)
-            searcher = ChunkSearcher(index, cost_model=data.scale.cost_model)
-            traces = [
-                searcher.search(
-                    workload.queries[i], k=data.scale.k,
-                    true_neighbor_ids=truth.get(i),
-                ).trace
-                for i in range(len(workload))
-            ]
+            traces = _run_batch(index, data, workload.queries, truth=truth).traces()
         curves = curves_from_traces(traces, data.scale.k)
         rows.append(
             [
@@ -421,14 +426,7 @@ def run_chunker_zoo(data: ExperimentData) -> TableResult:
             chunking = chunker.form_chunks(retained)
             index = build_chunk_index(chunking.retained, chunking.chunk_set, name=name)
             n, mean_size = index.n_chunks, chunking.mean_chunk_size
-            searcher = ChunkSearcher(index, cost_model=data.scale.cost_model)
-            traces = [
-                searcher.search(
-                    workload.queries[i], k=data.scale.k,
-                    true_neighbor_ids=truth.get(i),
-                ).trace
-                for i in range(len(workload))
-            ]
+            traces = _run_batch(index, data, workload.queries, truth=truth).traces()
         curves = curves_from_traces(traces, data.scale.k)
         rows.append(
             [
@@ -558,7 +556,6 @@ def run_approx_rules_ablation(data: ExperimentData) -> TableResult:
     retained = built.chunking.retained
     truth = data.ground_truth("MEDIUM", "DQ")
     workload = data.workloads["DQ"]
-    searcher = ChunkSearcher(built.index, cost_model=data.scale.cost_model)
     k = data.scale.k
 
     rules = {
@@ -575,17 +572,16 @@ def run_approx_rules_ablation(data: ExperimentData) -> TableResult:
     }
     rows = []
     for name, rule in rules.items():
-        chunks, times, precisions = [], [], []
-        for i in range(len(workload)):
-            result = searcher.search(workload.queries[i], k=k, stop_rule=rule)
-            chunks.append(result.chunks_read)
-            times.append(result.elapsed_s)
-            precisions.append(precision_at_k(result.neighbor_ids(), truth.get(i)))
+        batch = _run_batch(built.index, data, workload.queries, stop_rule=rule)
+        precisions = [
+            precision_at_k(r.neighbor_ids(), truth.get(i))
+            for i, r in enumerate(batch)
+        ]
         rows.append(
             [
                 name,
-                round(float(np.mean(chunks)), 1),
-                round(float(np.mean(times)), 4),
+                round(float(np.mean([r.chunks_read for r in batch])), 1),
+                round(float(batch.elapsed_s().mean()), 4),
                 round(float(np.mean(precisions)), 3),
             ]
         )

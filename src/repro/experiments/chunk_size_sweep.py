@@ -18,8 +18,8 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..chunking.srtree_chunker import SRTreeChunker
+from ..core.batch_search import BatchChunkSearcher
 from ..core.chunk_index import build_chunk_index
-from ..core.search import ChunkSearcher
 from ..core.trace import SearchTrace
 from .data import ExperimentData
 from .results import FigureResult
@@ -50,18 +50,16 @@ def sweep_traces(
         index = build_chunk_index(
             chunking.retained, chunking.chunk_set, name=f"SR/leaf={leaf_capacity}"
         )
-        searcher = ChunkSearcher(index, cost_model=data.scale.cost_model)
+        searcher = BatchChunkSearcher(index, cost_model=data.scale.cost_model)
         truth = data.ground_truth("SMALL", workload_name)
         workload = data.workloads[workload_name]
-        traces = []
-        for query_index in range(data.scale.n_queries_sweep):
-            result = searcher.search(
-                workload.queries[query_index],
-                k=data.scale.k,
-                true_neighbor_ids=truth.get(query_index),
-            )
-            traces.append(result.trace)
-        cache[key] = traces
+        n_sweep = data.scale.n_queries_sweep
+        batch = searcher.search_batch(
+            workload.queries[:n_sweep],
+            k=data.scale.k,
+            true_neighbor_ids=[truth.get(i) for i in range(n_sweep)],
+        )
+        cache[key] = batch.traces()
     return cache[key]
 
 

@@ -25,10 +25,10 @@ from typing import Dict, List, Tuple
 from ..chunking.bag import BagClusterer, estimate_mpi
 from ..chunking.base import ChunkingResult
 from ..chunking.srtree_chunker import SRTreeChunker
+from ..core.batch_search import BatchChunkSearcher
 from ..core.chunk_index import ChunkIndex, build_chunk_index
 from ..core.dataset import DescriptorCollection
 from ..core.ground_truth import GroundTruthStore
-from ..core.search import ChunkSearcher
 from ..core.trace import SearchTrace
 from ..workloads.queries import Workload, dataset_queries, space_queries
 from ..workloads.synthetic import generate_collection
@@ -103,16 +103,15 @@ class ExperimentData:
             built = self.built(family, size_class)
             workload = self.workloads[workload_name]
             truth = self.ground_truth(size_class, workload_name)
-            searcher = ChunkSearcher(built.index, cost_model=self.scale.cost_model)
-            traces = []
-            for query_index, query in enumerate(workload.queries):
-                result = searcher.search(
-                    query,
-                    k=self.scale.k,
-                    true_neighbor_ids=truth.get(query_index),
-                )
-                traces.append(result.trace)
-            self._trace_cache[key] = traces
+            searcher = BatchChunkSearcher(
+                built.index, cost_model=self.scale.cost_model
+            )
+            batch = searcher.search_batch(
+                workload.queries,
+                k=self.scale.k,
+                true_neighbor_ids=[truth.get(i) for i in range(len(workload))],
+            )
+            self._trace_cache[key] = batch.traces()
         return self._trace_cache[key]
 
 

@@ -23,9 +23,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..core.batch_search import BatchChunkSearcher
 from ..core.chunk_index import ChunkIndex
 from ..core.dataset import DescriptorCollection
-from ..core.search import ChunkSearcher
 from ..core.stop_rules import StopRule
 from ..simio.pipeline import CostModel
 
@@ -68,9 +68,9 @@ class MultiDescriptorSearcher:
             )
         self.collection = collection
         self._searcher = (
-            ChunkSearcher(index, cost_model=cost_model)
+            BatchChunkSearcher(index, cost_model=cost_model)
             if cost_model is not None
-            else ChunkSearcher(index)
+            else BatchChunkSearcher(index)
         )
         self._image_of_id: Dict[int, int] = {
             int(descriptor_id): int(image_id)
@@ -103,12 +103,15 @@ class MultiDescriptorSearcher:
         if query_descriptors.shape[0] == 0:
             raise ValueError("a query image needs at least one descriptor")
 
+        # A query image's descriptor set is a natural batch: one engine
+        # call ranks chunks for all descriptors at once and reads each
+        # chunk at most once for the whole image.
+        batch = self._searcher.search_batch(
+            query_descriptors, k=k_per_descriptor, stop_rule=stop_rule
+        )
         votes: Dict[int, int] = {}
         matched_queries: Dict[int, set] = {}
-        for query_index, descriptor in enumerate(query_descriptors):
-            result = self._searcher.search(
-                descriptor, k=k_per_descriptor, stop_rule=stop_rule
-            )
+        for query_index, result in enumerate(batch):
             # One vote per (query descriptor, image): repeated texture in a
             # single image cannot dominate the tally.
             seen_images = set()

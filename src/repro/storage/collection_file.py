@@ -32,6 +32,9 @@ __all__ = ["write_collection_file", "read_collection_file", "COLLECTION_MAGIC"]
 COLLECTION_MAGIC = b"EFF2COLL"
 _VERSION = 1
 _HEADER = struct.Struct("<8sIIQ")
+#: Reject headers whose implied payload exceeds this (1 TiB) — guards
+#: against corrupted ``count`` fields triggering huge reads/allocations.
+_MAX_PAYLOAD_BYTES = 1 << 40
 
 PathOrFile = Union[str, os.PathLike, BinaryIO]
 
@@ -70,6 +73,13 @@ def read_collection_file(source: PathOrFile) -> DescriptorCollection:
         if version != _VERSION:
             raise IOError(f"unsupported collection file version {version}")
         codec = RecordCodec(dimensions)
+        # A corrupted uint64 count would make stream.read blow up (or try
+        # to allocate petabytes) before the truncation check can fire.
+        if count * (codec.record_bytes + 8) > _MAX_PAYLOAD_BYTES:
+            raise IOError(
+                f"collection file header implies implausible size "
+                f"(count={count}, dims={dimensions})"
+            )
         payload = stream.read(count * codec.record_bytes)
         if len(payload) != count * codec.record_bytes:
             raise IOError("collection file truncated (records)")

@@ -24,6 +24,7 @@ import numpy as np
 
 from .chunking.base import Chunker
 from .chunking.srtree_chunker import SRTreeChunker
+from .core.batch_search import BatchChunkSearcher, BatchSearchResult
 from .core.chunk_index import ChunkIndex, build_chunk_index
 from .core.dataset import DescriptorCollection
 from .core.maintenance import ChunkIndexMaintainer
@@ -151,6 +152,27 @@ class ImageRetrievalSystem:
         self._refresh()
         searcher = ChunkSearcher(self._index, cost_model=self.cost_model)
         return searcher.search(query, k=k, stop_rule=self._stop_rule(exact))
+
+    def find_similar_descriptors_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        exact: bool = False,
+        workers: int = 1,
+    ) -> BatchSearchResult:
+        """Descriptor-level k-NN for a whole query batch at once.
+
+        Runs the batch engine: chunk ranking is one vectorized pass over
+        the batch, each chunk is read at most once per batch, and
+        ``workers > 1`` spreads the wall-clock work over a thread pool.
+        Per-query results are identical to :meth:`find_similar_descriptors`.
+        """
+        self._require_built()
+        self._refresh()
+        searcher = BatchChunkSearcher(self._index, cost_model=self.cost_model)
+        return searcher.search_batch(
+            queries, k=k, stop_rule=self._stop_rule(exact), workers=workers
+        )
 
     def find_similar_images(
         self,

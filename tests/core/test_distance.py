@@ -110,6 +110,34 @@ class TestPairwise:
         with pytest.raises(ValueError):
             pairwise_squared_distances(np.zeros((2, 3)), np.zeros((2, 4)))
 
+    def test_expanded_form_agrees_with_direct_form(self):
+        """The |q|^2 - 2 q.p + |p|^2 kernel must agree with the direct
+        (q - p)^2 sum to 1e-9 relative, over magnitudes spanning the
+        descriptor range and including coincident rows."""
+        rng = np.random.default_rng(6)
+        for scale in (1e-3, 1.0, 1e3):
+            queries = rng.standard_normal((11, 24)) * scale
+            points = rng.standard_normal((40, 24)) * scale
+            points[7] = queries[3]  # exercise the clamp at zero
+            expanded = pairwise_squared_distances(queries, points)
+            direct = np.vstack(
+                [squared_distances(q, points) for q in queries]
+            )
+            # 1e-9 agreement relative to the problem magnitude: the
+            # coincident row makes the direct form exactly 0.0 while
+            # cancellation leaves the expanded form a few ulps of |q|^2
+            # above it, so a pure rtol check would be vacuous there.
+            atol = 1e-9 * float(direct.max())
+            np.testing.assert_allclose(expanded, direct, rtol=1e-9, atol=atol)
+            assert np.all(expanded >= 0.0)
+
+    def test_coincident_rows_clamped_nonnegative(self):
+        rng = np.random.default_rng(7)
+        points = rng.standard_normal((5, 16)) * 1e3
+        d = pairwise_squared_distances(points, points)
+        assert np.all(d >= 0.0)
+        assert np.all(np.diag(d) <= 1e-6)
+
 
 class TestTopK:
     def test_sorted_ascending(self):
