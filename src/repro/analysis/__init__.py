@@ -1,0 +1,42 @@
+"""Repo-specific static analysis: the ``repro lint`` invariant checker.
+
+This package walks the ``repro`` AST and enforces contracts no
+off-the-shelf linter knows about — the invariants the reproduction's
+correctness rests on:
+
+* **CLK001** simulated-clock discipline: no wall-clock reads in the
+  simulated-cost layers (``core``/``simio``/``storage``/``chunking``/
+  ``srtree``);
+* **RNG001-003** determinism: no legacy ``np.random`` global state, no
+  stdlib ``random`` module calls, no unseeded ``default_rng()``;
+* **DTY001-002** dtype contracts: no literal float32 into the distance
+  kernels; public ndarray-returning functions declare their dtype;
+* **LAY001** layer boundaries: the import DAG stays acyclic and the
+  algorithmic layers never import the application shell.
+
+Run it as ``repro lint`` or ``python -m repro.analysis``.  This package
+intentionally imports nothing from the rest of ``repro`` (enforced by
+LAY001 on itself), so it can lint a tree whose simulated layers are
+broken.
+"""
+
+from .config import LintConfig, default_config
+from .diagnostics import Diagnostic, render_json, render_text
+from .rules import RULE_IDS, all_rules, select_rules
+from .runner import LintResult, lint_file, lint_source, lint_tree, package_root
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintResult",
+    "RULE_IDS",
+    "all_rules",
+    "default_config",
+    "lint_file",
+    "lint_source",
+    "lint_tree",
+    "package_root",
+    "render_json",
+    "render_text",
+    "select_rules",
+]

@@ -1,0 +1,116 @@
+"""Configuration for the repro invariant linter.
+
+The defaults below *are* the repo's contracts — they encode which layers
+carry simulated cost (and therefore must never read the wall clock),
+which import edges the architecture permits, and which kernels have
+dtype contracts.  Tests and the CLI use :func:`default_config`; unit
+tests construct narrower configs by hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+__all__ = ["LintConfig", "default_config", "PACKAGE_NAME"]
+
+#: Name of the package the default configuration describes.
+PACKAGE_NAME = "repro"
+
+#: Layers whose query-time costs are *simulated* (SimClock): wall-clock
+#: reads here would silently contaminate the paper's time-to-quality
+#: curves with hardware-dependent noise.
+SIMULATED_LAYERS: FrozenSet[str] = frozenset(
+    {"core", "simio", "storage", "chunking", "srtree"}
+)
+
+#: Files that may read the wall clock despite living in a simulated
+#: layer.  ``simio/clock.py`` defines :class:`~repro.simio.clock.WallClock`
+#: itself — the single sanctioned escape hatch used by benchmarks and
+#: simulation sanity checks.  Individual *call sites* (e.g. the chunker
+#: build timers, which measure build time only and never feed simulated
+#: cost) use inline ``# repro-lint: disable=CLK001`` suppressions instead,
+#: so any new wall-clock read in those files is still caught.
+WALL_CLOCK_ALLOWLIST: FrozenSet[str] = frozenset({"simio/clock.py"})
+
+#: The import DAG, expressed as forbidden edges: layer -> layers it must
+#: not import.  Algorithmic layers must not reach "up" into the
+#: application shell (experiments / extensions / system / cli), and simio
+#: must stay ignorant of core so cost models remain reusable.
+_APP_SHELL: FrozenSet[str] = frozenset({"experiments", "extensions", "system", "cli"})
+FORBIDDEN_IMPORTS: Mapping[str, FrozenSet[str]] = {
+    "core": _APP_SHELL,
+    "simio": _APP_SHELL | frozenset({"core"}),
+    "storage": _APP_SHELL,
+    "chunking": _APP_SHELL,
+    "srtree": _APP_SHELL,
+    "analysis": _APP_SHELL | SIMULATED_LAYERS | frozenset({"workloads", "parallel"}),
+}
+
+#: Distance kernels with a float64 promotion contract: passing a literal
+#: float32 construction defeats the promotion and changes results at the
+#: ulp level, breaking bit-reproducibility.
+DTYPE_KERNELS: FrozenSet[str] = frozenset(
+    {"squared_distances", "pairwise_squared_distances", "euclidean_distances"}
+)
+
+#: Substrings that count as "declares its dtype" in a docstring or
+#: return annotation of a public array-producing function.
+DTYPE_WORDS: Tuple[str, ...] = (
+    "dtype",
+    "float64",
+    "float32",
+    "float16",
+    "int64",
+    "int32",
+    "intp",
+    "uint8",
+    "uint32",
+    "uint64",
+    "bool_",
+    "boolean",
+)
+
+#: ``numpy.random`` attributes that are modern, explicitly-seeded
+#: constructs and therefore exempt from the legacy global-state rule.
+MODERN_NP_RANDOM: FrozenSet[str] = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+
+#: ``random`` (stdlib) attributes exempt from the module-level-call rule:
+#: instantiating an explicitly seeded ``random.Random(seed)`` is fine.
+SEEDED_STDLIB_RANDOM: FrozenSet[str] = frozenset({"Random", "SystemRandom"})
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Everything a rule needs to know about the repo's invariants."""
+
+    package: str = PACKAGE_NAME
+    simulated_layers: FrozenSet[str] = SIMULATED_LAYERS
+    wall_clock_allowlist: FrozenSet[str] = WALL_CLOCK_ALLOWLIST
+    forbidden_imports: Mapping[str, FrozenSet[str]] = dataclasses.field(
+        default_factory=lambda: dict(FORBIDDEN_IMPORTS)
+    )
+    dtype_kernels: FrozenSet[str] = DTYPE_KERNELS
+    dtype_words: Tuple[str, ...] = DTYPE_WORDS
+    modern_np_random: FrozenSet[str] = MODERN_NP_RANDOM
+    seeded_stdlib_random: FrozenSet[str] = SEEDED_STDLIB_RANDOM
+
+    def layer_of(self, relpath: str) -> str:
+        """Layer name for a package-relative posix path.
+
+        Subpackage files take the subpackage name (``core/search.py`` ->
+        ``core``); top-level modules take their stem (``system.py`` ->
+        ``system``).
+        """
+        parts = relpath.split("/")
+        if len(parts) == 1:
+            name = parts[0]
+            return name[:-3] if name.endswith(".py") else name
+        return parts[0]
+
+
+def default_config() -> LintConfig:
+    """The shipped configuration (module-level constants above)."""
+    return LintConfig()

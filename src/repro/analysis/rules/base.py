@@ -1,0 +1,133 @@
+"""Shared machinery for lint rules.
+
+Every rule is a small class with a stable ``id``, a one-line ``summary``
+and a ``check`` method that yields :class:`Diagnostic` objects for one
+parsed module.  Rules never see raw files — the runner hands them a
+:class:`FileContext` carrying the parsed AST, the package-relative path,
+the resolved layer and an :class:`ImportTable` for name resolution.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+from ..config import LintConfig
+from ..diagnostics import Diagnostic
+
+__all__ = ["FileContext", "ImportTable", "Rule", "resolve_call_target"]
+
+
+class ImportTable:
+    """Maps local names to the dotted module/attribute paths they import.
+
+    The table flattens scope: an import inside a function binds the name
+    for the whole file.  That is deliberately conservative — the linter
+    asks "could this name refer to ``time.perf_counter``?", and a
+    function-local import makes the answer yes.
+
+    Examples of recorded bindings::
+
+        import time                      ->  {"time": "time"}
+        import numpy as np               ->  {"np": "numpy"}
+        from time import perf_counter    ->  {"perf_counter": "time.perf_counter"}
+        from numpy import random as npr  ->  {"npr": "numpy.random"}
+        from ..simio import clock        ->  {"clock": "repro.simio.clock"}
+    """
+
+    def __init__(self, module: ast.Module, module_package: str):
+        #: dotted path of the package containing this module, used to
+        #: resolve relative imports ("repro.core" for repro/core/search.py).
+        self._module_package = module_package
+        self.bindings: Dict[str, str] = {}
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # "import a.b.c" binds "a" (to package a) unless aliased.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _resolve_from_base(self, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: walk ``level`` packages up from the module's
+        # package, then append the explicit module path (if any).
+        parts = self._module_package.split(".") if self._module_package else []
+        if node.level - 1 > 0:
+            parts = parts[: -(node.level - 1)] if node.level - 1 <= len(parts) else []
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Dotted import path bound to ``name``, or ``None``."""
+        return self.bindings.get(name)
+
+
+def resolve_call_target(func: ast.expr, imports: ImportTable) -> Optional[str]:
+    """Best-effort dotted path of a call target expression.
+
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``"numpy.random.rand"``; a bare ``perf_counter`` imported from
+    :mod:`time` resolves to ``"time.perf_counter"``.  Returns ``None``
+    for targets rooted in local variables (attribute chains whose base is
+    not an imported name).
+    """
+    chain: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = imports.resolve(node.id)
+    if base is None:
+        return None
+    chain.append(base)
+    return ".".join(reversed(chain))
+
+
+@dataclasses.dataclass(frozen=True)
+class FileContext:
+    """Everything rules need to know about one file under lint."""
+
+    relpath: str  #: package-relative posix path, e.g. "core/search.py"
+    layer: str  #: resolved layer name, e.g. "core"
+    module_package: str  #: dotted package of the module, e.g. "repro.core"
+    tree: ast.Module
+    imports: ImportTable
+    config: LintConfig
+
+    def diagnostic(
+        self, node: ast.AST, rule: str, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``summary`` and implement ``check``."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.id}: {self.summary}>"

@@ -1,0 +1,113 @@
+"""RNG001/RNG002/RNG003 — determinism discipline.
+
+Bit-reproducible runs (the guarantee PR 1's batched engine is tested
+against) require every random draw to flow from an explicitly seeded
+generator.  Three distinct failure modes, three rules:
+
+* **RNG001** — legacy ``numpy.random`` global-state calls
+  (``np.random.rand``, ``np.random.seed``, ...).  Global state is shared
+  across the process, so any library call can perturb the stream.
+* **RNG002** — stdlib ``random`` module-level calls (``random.random()``,
+  ``random.shuffle(...)``).  Same global-state problem; an explicitly
+  seeded ``random.Random(seed)`` instance is fine.
+* **RNG003** — ``default_rng()`` with no seed argument: seeds from OS
+  entropy, so two runs diverge by construction.
+
+All three apply to the whole package — determinism is not a per-layer
+property.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..diagnostics import Diagnostic
+from .base import FileContext, Rule, resolve_call_target
+
+__all__ = ["LegacyNumpyRandomRule", "StdlibRandomRule", "UnseededRngRule"]
+
+
+def _call_target(node: ast.Call, ctx: FileContext) -> Optional[str]:
+    return resolve_call_target(node.func, ctx.imports)
+
+
+class LegacyNumpyRandomRule(Rule):
+    id = "RNG001"
+    summary = "legacy numpy.random global-state call; use default_rng(seed)"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, ctx)
+            if target is None or not target.startswith("numpy.random."):
+                continue
+            attr = target[len("numpy.random.") :]
+            # Modern constructs (default_rng, Generator, ...) carry their
+            # own state; only the flat global-state API is forbidden.
+            if "." in attr or attr in ctx.config.modern_np_random:
+                continue
+            yield ctx.diagnostic(
+                node,
+                self.id,
+                f"legacy global-state call {target}(); draw from an "
+                f"explicitly seeded np.random.default_rng(seed) instead",
+            )
+
+
+class StdlibRandomRule(Rule):
+    id = "RNG002"
+    summary = "stdlib random module-level call; use a seeded random.Random"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, ctx)
+            if target is None or not target.startswith("random."):
+                continue
+            attr = target[len("random.") :]
+            if "." in attr or attr in ctx.config.seeded_stdlib_random:
+                continue
+            yield ctx.diagnostic(
+                node,
+                self.id,
+                f"module-level call {target}() uses the shared global RNG; "
+                f"use an explicitly seeded random.Random(seed) instance",
+            )
+
+
+class UnseededRngRule(Rule):
+    id = "RNG003"
+    summary = "default_rng() without a seed argument is nondeterministic"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, ctx)
+            if target != "numpy.random.default_rng":
+                continue
+            seed_given = bool(node.args) or any(
+                kw.arg == "seed" or kw.arg is None for kw in node.keywords
+            )
+            if seed_given and not _is_none_literal(node):
+                continue
+            yield ctx.diagnostic(
+                node,
+                self.id,
+                "default_rng() without a seed draws from OS entropy; pass "
+                "an explicit seed so runs are reproducible",
+            )
+
+
+def _is_none_literal(node: ast.Call) -> bool:
+    """True when the first/seed argument is a literal ``None`` — as
+    nondeterministic as omitting it."""
+    candidates = list(node.args[:1]) + [
+        kw.value for kw in node.keywords if kw.arg == "seed"
+    ]
+    return any(
+        isinstance(arg, ast.Constant) and arg.value is None for arg in candidates
+    )

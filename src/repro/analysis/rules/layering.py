@@ -1,0 +1,84 @@
+"""LAY001 — layer boundaries (the import DAG).
+
+The algorithmic layers (``core``, ``simio``, ``storage``, ``chunking``,
+``srtree``) must stay importable without dragging in the application
+shell (``experiments``, ``extensions``, ``system``, ``cli``), and
+``simio`` must not know about ``core`` so the cost models stay reusable.
+Violations here are how "just one convenience import" turns the DAG into
+a ball of mud that blocks future refactors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..diagnostics import Diagnostic
+from .base import FileContext, Rule
+
+__all__ = ["LayerBoundaryRule"]
+
+
+class LayerBoundaryRule(Rule):
+    id = "LAY001"
+    summary = "import crosses a forbidden layer boundary"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        forbidden = ctx.config.forbidden_imports.get(ctx.layer)
+        if not forbidden:
+            return
+        for node, target in _imported_modules(ctx):
+            layer = _layer_of_module(target, ctx.config.package)
+            if layer is not None and layer in forbidden:
+                yield ctx.diagnostic(
+                    node,
+                    self.id,
+                    f"layer '{ctx.layer}' must not import '{layer}' "
+                    f"(imports {target})",
+                )
+
+
+def _imported_modules(ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, dotted_module)`` for every import in the file.
+
+    ``from X import a, b`` yields ``X.a`` and ``X.b`` so that
+    ``from .. import system`` resolves to ``repro.system`` (the name may
+    be a module, not an attribute — the pessimistic reading is correct
+    for boundary checking).
+    """
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(node, ctx.module_package)
+            if base is None:
+                continue
+            if not node.names or node.names[0].name == "*":
+                yield node, base
+                continue
+            for alias in node.names:
+                yield node, f"{base}.{alias.name}" if base else alias.name
+
+
+def _resolve_relative(node: ast.ImportFrom, module_package: str) -> Optional[str]:
+    if node.level == 0:
+        return node.module or None
+    parts: List[str] = module_package.split(".") if module_package else []
+    up = node.level - 1
+    if up > len(parts):
+        return None
+    if up:
+        parts = parts[:-up]
+    if node.module:
+        parts.extend(node.module.split("."))
+    return ".".join(parts) if parts else None
+
+
+def _layer_of_module(dotted: str, package: str) -> Optional[str]:
+    """Layer a dotted import path lands in, or ``None`` if outside the
+    package (stdlib/third-party imports are never boundary violations)."""
+    parts = dotted.split(".")
+    if parts[0] != package or len(parts) < 2:
+        return None
+    return parts[1]

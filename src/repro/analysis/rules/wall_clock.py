@@ -1,0 +1,67 @@
+"""CLK001 — simulated-clock discipline.
+
+Layers that account cost through :class:`repro.simio.clock.SimulatedClock`
+(``core``, ``simio``, ``storage``, ``chunking``, ``srtree``) must never
+read the wall clock: a stray ``time.perf_counter()`` in a simulated path
+silently mixes hardware-dependent noise into the paper's deterministic
+time-to-quality curves.  Wall-clock reads are permitted only in the
+config allowlist (the ``WallClock`` implementation itself) or behind an
+explicit inline ``# repro-lint: disable=CLK001`` at a build/benchmark
+measurement site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from ..diagnostics import Diagnostic
+from .base import FileContext, Rule, resolve_call_target
+
+__all__ = ["WallClockRule"]
+
+#: Fully-resolved call targets that read the wall clock.
+WALL_CLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    id = "CLK001"
+    summary = (
+        "wall-clock read (time.time/perf_counter/datetime.now/...) in a "
+        "simulated-cost layer; use SimClock, or allowlist a build timer"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.layer not in ctx.config.simulated_layers:
+            return
+        if ctx.relpath in ctx.config.wall_clock_allowlist:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, ctx.imports)
+            if target in WALL_CLOCK_CALLS:
+                yield ctx.diagnostic(
+                    node,
+                    self.id,
+                    f"call to {target}() in simulated layer '{ctx.layer}'; "
+                    f"simulated paths must take time from SimulatedClock",
+                )

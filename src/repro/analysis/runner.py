@@ -1,0 +1,149 @@
+"""The lint runner: walk a package tree, run rules, filter suppressions.
+
+Entry points, from narrow to wide:
+
+* :func:`lint_source` — one in-memory module (unit tests, fixtures);
+* :func:`lint_file` — one file on disk;
+* :func:`lint_tree` — a whole package directory (what the CLI runs).
+
+The runner is deliberately independent of the rest of ``repro`` — it
+imports nothing from the simulated layers, so it can lint a broken tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .config import LintConfig, default_config
+from .diagnostics import Diagnostic
+from .rules import FileContext, ImportTable, Rule, all_rules
+from .suppressions import parse_suppressions
+
+__all__ = ["LintResult", "lint_source", "lint_file", "lint_tree", "package_root"]
+
+
+class LintResult:
+    """Diagnostics plus the bookkeeping the reports need."""
+
+    def __init__(self, diagnostics: List[Diagnostic], checked_files: int, rules: Sequence[str]):
+        self.diagnostics = sorted(diagnostics)
+        self.checked_files = checked_files
+        self.rules = list(rules)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+
+def _module_package(package: str, relpath: str) -> str:
+    """Dotted package containing the module at ``relpath``.
+
+    ``core/search.py`` -> ``repro.core``; ``system.py`` -> ``repro``;
+    ``core/__init__.py`` -> ``repro.core`` (a package's ``__init__``
+    resolves relative imports against the package itself).
+    """
+    directories = relpath.split("/")[:-1]
+    return ".".join([package] + directories)
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one module given as text; ``relpath`` fixes its layer.
+
+    A syntax error is itself reported as a diagnostic (rule ``PARSE``)
+    rather than raised — a tree that does not parse must fail the lint
+    gate, not crash it.
+    """
+    config = config or default_config()
+    rules = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="PARSE",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    context = FileContext(
+        relpath=relpath,
+        layer=config.layer_of(relpath),
+        module_package=_module_package(config.package, relpath),
+        tree=tree,
+        imports=ImportTable(tree, _module_package(config.package, relpath)),
+        config=config,
+    )
+    suppressions = parse_suppressions(source)
+    found: List[Diagnostic] = []
+    for rule in rules:
+        for diagnostic in rule.check(context):
+            if not suppressions.is_suppressed(diagnostic.line, diagnostic.rule):
+                found.append(diagnostic)
+    return found
+
+
+def lint_file(
+    path: str,
+    relpath: str,
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one on-disk file; ``relpath`` is its package-relative path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, relpath, config=config, rules=rules)
+
+
+def _python_files(root: str) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_tree(
+    root: str,
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``root`` (a package directory).
+
+    ``root`` is the directory of the package itself (e.g. ``src/repro``);
+    layers are resolved from paths relative to it.
+    """
+    config = config or default_config()
+    rules = list(rules) if rules is not None else all_rules()
+    diagnostics: List[Diagnostic] = []
+    checked = 0
+    for path in _python_files(root):
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        diagnostics.extend(lint_file(path, relpath, config=config, rules=rules))
+        checked += 1
+    return LintResult(diagnostics, checked, [rule.id for rule in rules])
+
+
+def package_root() -> str:
+    """Directory of the installed ``repro`` package (the default lint
+    target, so ``repro lint`` works from any CWD)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))

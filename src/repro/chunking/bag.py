@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -199,7 +199,7 @@ class BagClusterer(Chunker):
         snapshots: List[BagSnapshot] = []
         passes = 0
 
-        def capture(count: int, materialize) -> None:
+        def capture(count: int, materialize: Callable[[], List[_Cluster]]) -> None:
             """Snapshot every threshold the live count has fallen to.
 
             Called after every state change — including after individual
@@ -295,7 +295,7 @@ class BagClusterer(Chunker):
         self,
         clusters: List[_Cluster],
         vectors: np.ndarray,
-        on_change=None,
+        on_change: Optional[Callable[[List[_Cluster]], None]] = None,
     ) -> List[_Cluster]:
         """One scan over the cluster list.
 

@@ -25,7 +25,7 @@ def norm_threshold_outliers(
 ) -> np.ndarray:
     """Rows whose descriptor norm exceeds ``max_norm`` (the paper's simple
     scheme: "removing all descriptors with total length greater than a
-    constant")."""
+    constant").  Returns sorted row indices, dtype intp."""
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
     return np.flatnonzero(collection.norms() > max_norm)
@@ -34,7 +34,7 @@ def norm_threshold_outliers(
 def norm_fraction_outliers(
     collection: DescriptorCollection, fraction: float
 ) -> np.ndarray:
-    """Rows of the ``fraction`` largest-norm descriptors.
+    """Rows of the ``fraction`` largest-norm descriptors (dtype intp).
 
     A convenience calibration of the constant-threshold scheme: choose the
     constant so that a target fraction (e.g. the 8-12 % BAG discards) is

@@ -8,6 +8,7 @@ Usage::
     repro collection [--scale test]          # collection statistics
     repro demo                               # tiny end-to-end search demo
     repro batch-search SYSTEM COLLECTION     # batched queries + throughput
+    repro lint [PATH]                        # AST-based invariant checker
 
 The experiment subcommand regenerates the paper artefacts (Tables 1-2,
 Figures 1-7) and the ablations, printing each as fixed-width text.
@@ -20,6 +21,7 @@ import sys
 from typing import Callable, Dict
 
 from . import __version__
+from .analysis.cli import add_lint_arguments, run_lint
 from .experiments import (
     ablations,
     chunk_size_sweep,
@@ -31,7 +33,16 @@ from .experiments import (
 from .experiments.config import get_scale
 from .experiments.data import ExperimentData, prepare
 
-__all__ = ["main", "EXPERIMENT_RUNNERS"]
+__all__ = ["main", "CliError", "EXPERIMENT_RUNNERS"]
+
+
+class CliError(Exception):
+    """A user-facing command failure.
+
+    Raised by subcommands for bad arguments, missing/corrupt files and the
+    like; :func:`main` prints it to stderr and returns exit code 2, so
+    every subcommand fails the same way (no tracebacks, no silent zero).
+    """
 
 #: Experiment id -> driver producing a renderable result.
 EXPERIMENT_RUNNERS: Dict[str, Callable[[ExperimentData], object]] = {
@@ -161,6 +172,12 @@ def _build_parser() -> argparse.ArgumentParser:
     image_query.add_argument("collection")
     image_query.add_argument("--image", type=int, required=True)
     image_query.add_argument("--top", type=int, default=5)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the package against the repo's reproduction invariants",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -311,9 +328,9 @@ def _cmd_batch_search(args: argparse.Namespace) -> int:
     system = ImageRetrievalSystem.load(args.system)
     collection = read_collection_file(args.collection)
     if args.batch < 1:
-        raise SystemExit(f"--batch must be at least 1, got {args.batch}")
+        raise CliError(f"--batch must be at least 1, got {args.batch}")
     if len(collection) == 0:
-        raise SystemExit(f"collection {args.collection} holds no descriptors")
+        raise CliError(f"collection {args.collection} holds no descriptors")
     n = min(args.batch, len(collection))
     queries = collection.vectors[:n].astype(float)
     if args.chunks > 0:
@@ -357,7 +374,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     system = ImageRetrievalSystem.load(args.system)
     collection = read_collection_file(args.collection)
     if not 0 <= args.row < len(collection):
-        raise SystemExit(f"row {args.row} out of range (collection has {len(collection)})")
+        raise CliError(f"row {args.row} out of range (collection has {len(collection)})")
     query = collection.vectors[args.row].astype(float)
     if args.chunks > 0:
         system.default_stop_chunks = args.chunks
@@ -383,7 +400,7 @@ def _cmd_image_query(args: argparse.Namespace) -> int:
     collection = read_collection_file(args.collection)
     rows = np.flatnonzero(collection.image_ids == args.image)
     if rows.size == 0:
-        raise SystemExit(f"image {args.image} has no descriptors in {args.collection}")
+        raise CliError(f"image {args.image} has no descriptors in {args.collection}")
     matches = system.find_similar_images(
         collection.vectors[rows].astype(float), top_images=args.top
     )
@@ -406,12 +423,33 @@ _COMMANDS = {
     "batch-search": _cmd_batch_search,
     "query": _cmd_query,
     "image-query": _cmd_image_query,
+    "lint": run_lint,
 }
 
 
 def main(argv=None) -> int:
+    """Parse arguments, dispatch, and map failures to exit codes.
+
+    0 on success; 1 when ``lint`` finds violations; 2 on any command
+    failure (bad arguments, missing/corrupt files, unknown scale) — never
+    a traceback, never a silent zero.
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CliError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # e.g. get_scale("galactic"); KeyError carries the message as args[0].
+        message = exc.args[0] if exc.args else exc
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        # Missing or corrupt input files (CorruptFileError is an IOError),
+        # malformed arrays, and similar user-input failures.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

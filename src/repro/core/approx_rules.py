@@ -26,13 +26,16 @@ These integrate with the chunk search as ordinary
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from .dataset import DescriptorCollection
 from .distance import squared_distances
 from .stop_rules import SearchProgress, StopRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chunk_index import ChunkIndex
 
 __all__ = [
     "EpsilonApproximation",
@@ -162,7 +165,14 @@ class PacApproximation(StopRule):
         self.mean_chunk_size = float(mean_chunk_size)
 
     @classmethod
-    def for_index(cls, index, collection, epsilon=0.1, delta=0.05, seed=0):
+    def for_index(
+        cls,
+        index: "ChunkIndex",
+        collection: "DescriptorCollection",
+        epsilon: float = 0.1,
+        delta: float = 0.05,
+        seed: int = 0,
+    ) -> "EarlyTerminationRule":
         """Build the rule for one chunk index, sampling the distance
         distribution from its backing collection."""
         distribution = DistanceDistribution.sample(collection, seed=seed)

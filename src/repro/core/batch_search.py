@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,15 +70,15 @@ class BatchSearchResult:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SearchResult]:
         return iter(self.results)
 
     def __getitem__(self, i: int) -> SearchResult:
         return self.results[i]
 
     def neighbor_ids_matrix(self) -> np.ndarray:
-        """``(n_queries, k_found)`` id matrix, padded with -1 for queries
-        that found fewer neighbors than the widest result."""
+        """``(n_queries, k_found)`` int64 id matrix, padded with -1 for
+        queries that found fewer neighbors than the widest result."""
         if not self.results:
             return np.empty((0, 0), dtype=np.int64)
         width = max(len(r.neighbors) for r in self.results)
@@ -92,7 +92,7 @@ class BatchSearchResult:
         return [r.stop_reason for r in self.results]
 
     def elapsed_s(self) -> np.ndarray:
-        """Simulated per-query elapsed seconds (the paper's clock)."""
+        """Simulated per-query elapsed seconds (float64; the paper's clock)."""
         return np.asarray([r.elapsed_s for r in self.results], dtype=np.float64)
 
     def traces(self) -> List[SearchTrace]:

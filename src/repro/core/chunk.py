@@ -19,7 +19,7 @@ Two layers are distinguished here:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class Chunk:
         return int(self.member_rows.size)
 
     def member_ids(self, collection: DescriptorCollection) -> np.ndarray:
-        """Descriptor ids of this chunk's members."""
+        """Descriptor ids (int64) of this chunk's members."""
         return collection.ids[self.member_rows]
 
     def contains_all_members(self, collection: DescriptorCollection) -> bool:
@@ -153,7 +153,7 @@ class ChunkSet:
     def __len__(self) -> int:
         return len(self.chunks)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Chunk]:
         return iter(self.chunks)
 
     def __getitem__(self, index: int) -> Chunk:
@@ -162,7 +162,7 @@ class ChunkSet:
     # -- statistics (these feed Table 1 and Figure 1) ----------------------
 
     def sizes(self) -> np.ndarray:
-        """Descriptor count of every chunk."""
+        """Descriptor count of every chunk, dtype int64."""
         return np.asarray([len(c) for c in self.chunks], dtype=np.int64)
 
     def total_descriptors(self) -> int:
@@ -173,11 +173,12 @@ class ChunkSet:
         return float(self.sizes().mean())
 
     def largest_sizes(self, n: int = 30) -> np.ndarray:
-        """Sizes of the ``n`` largest chunks, descending (Figure 1)."""
+        """Sizes (int64) of the ``n`` largest chunks, descending (Figure 1)."""
         sizes = np.sort(self.sizes())[::-1]
         return sizes[:n]
 
     def radii(self) -> np.ndarray:
+        """Minimum bounding radius of every chunk, dtype float64."""
         return np.asarray([c.radius for c in self.chunks], dtype=np.float64)
 
     # -- invariants ---------------------------------------------------------
@@ -190,7 +191,7 @@ class ChunkSet:
         return bool(np.array_equal(np.sort(seen), np.arange(len(self.collection))))
 
     def covered_rows(self) -> np.ndarray:
-        """Sorted unique rows covered by any chunk."""
+        """Sorted unique rows (dtype intp) covered by any chunk."""
         return np.unique(np.concatenate([c.member_rows for c in self.chunks]))
 
     def validate(self) -> None:

@@ -130,16 +130,19 @@ class ChunkIndex:
         return index_file_bytes(self.n_chunks, self.dimensions)
 
     def centroid_matrix(self) -> np.ndarray:
-        """``(n_chunks, d)`` centroid matrix for vectorized ranking."""
+        """``(n_chunks, d)`` float64 centroid matrix for vectorized ranking."""
         return np.stack([m.centroid for m in self.metas])
 
     def radius_vector(self) -> np.ndarray:
+        """Chunk radii in chunk order, dtype float64."""
         return np.asarray([m.radius for m in self.metas], dtype=np.float64)
 
     def descriptor_counts(self) -> np.ndarray:
+        """Descriptors per chunk, dtype int64."""
         return np.asarray([m.n_descriptors for m in self.metas], dtype=np.int64)
 
     def page_counts(self) -> np.ndarray:
+        """Pages per chunk, dtype int64."""
         return np.asarray([m.page_count for m in self.metas], dtype=np.int64)
 
     def read_chunk(self, chunk_id: int) -> Tuple[np.ndarray, np.ndarray]:

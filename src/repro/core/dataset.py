@@ -152,7 +152,8 @@ class DescriptorCollection:
         )
 
     def rows_for_ids(self, wanted_ids: Sequence[int]) -> np.ndarray:
-        """Row positions of the given descriptor ids (order preserved).
+        """Row positions (dtype intp) of the given descriptor ids,
+        order preserved.
 
         Raises ``KeyError`` if any id is absent.
         """
@@ -183,8 +184,8 @@ class DescriptorCollection:
         return self.vectors.astype(np.float64).mean(axis=0)
 
     def norms(self) -> np.ndarray:
-        """Euclidean norm of every descriptor (used by the norm-threshold
-        outlier filter the paper mentions in section 5.2)."""
+        """Euclidean norm (float64) of every descriptor (used by the
+        norm-threshold outlier filter the paper mentions in section 5.2)."""
         return np.linalg.norm(self.vectors.astype(np.float64), axis=1)
 
     def dimension_ranges(self, trim_fraction: float = 0.0) -> np.ndarray:
@@ -194,7 +195,7 @@ class DescriptorCollection:
         preprocessing: "After discarding the top and bottom 5%, we stored
         the remaining value range of each dimension" (section 5.3).
 
-        Returns an array of shape ``(d, 2)``.
+        Returns an array of shape ``(d, 2)``, dtype float64.
         """
         if not 0.0 <= trim_fraction < 0.5:
             raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")

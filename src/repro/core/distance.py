@@ -68,7 +68,7 @@ def squared_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
 
 
 def euclidean_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
-    """Euclidean distances from one query vector to many points."""
+    """Euclidean distances from one query vector to many points (float64)."""
     return np.sqrt(squared_distances(query, points))
 
 
@@ -77,7 +77,7 @@ def pairwise_squared_distances(
     points: np.ndarray,
     block_rows: int = DEFAULT_BLOCK_ROWS,
 ) -> np.ndarray:
-    """Full ``(n_queries, n_points)`` matrix of squared distances.
+    """Full ``(n_queries, n_points)`` float64 matrix of squared distances.
 
     Computed blockwise over ``points`` to bound temporary memory, using the
     dot-product expansion ``|q|^2 - 2 q.p + |p|^2`` (clamped at zero) so
@@ -113,7 +113,8 @@ def pairwise_squared_distances(
 
 
 def top_k_smallest(values: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the ``k`` smallest values, sorted ascending by value.
+    """Indices (dtype intp) of the ``k`` smallest values, sorted
+    ascending by value.
 
     Ties are broken by index (stable), which keeps ground-truth neighbor
     lists deterministic across runs.

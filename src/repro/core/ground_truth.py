@@ -34,7 +34,7 @@ def exact_knn(
     k: int,
     block_rows: int = DEFAULT_BLOCK_ROWS,
 ) -> np.ndarray:
-    """Ids of the exact ``k`` nearest descriptors, best first.
+    """Ids (int64) of the exact ``k`` nearest descriptors, best first.
 
     Scans the collection blockwise; exact, deterministic (ties broken by
     ascending id as in :func:`~repro.core.distance.top_k_smallest`).
@@ -69,7 +69,7 @@ def exact_knn_batch(
     k: int,
     block_rows: int = DEFAULT_BLOCK_ROWS,
 ) -> np.ndarray:
-    """Exact k-NN ids for a batch of queries; shape ``(n_queries, k)``.
+    """Exact k-NN ids for a batch of queries; shape ``(n_queries, k)``, int64.
 
     The whole batch shares each blockwise pass over the collection: one
     :func:`~repro.core.distance.pairwise_squared_distances` kernel call per
@@ -123,6 +123,7 @@ class GroundTruthStore:
         self._lists[int(query_index)] = ids
 
     def get(self, query_index: int) -> np.ndarray:
+        """Stored neighbor ids (int64) for one query, best first."""
         try:
             return self._lists[int(query_index)]
         except KeyError:

@@ -23,7 +23,7 @@ callers can decide when a compaction/rebuild pays off.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,7 +53,13 @@ class _MutableChunk:
 
     __slots__ = ("ids", "vectors", "page_offset", "page_count")
 
-    def __init__(self, ids, vectors, page_offset, page_count):
+    def __init__(
+        self,
+        ids: Sequence[int],
+        vectors: Sequence[np.ndarray],
+        page_offset: int,
+        page_count: int,
+    ):
         self.ids: List[int] = list(int(i) for i in ids)
         self.vectors: List[np.ndarray] = [
             np.asarray(v, dtype=np.float32) for v in vectors
@@ -62,6 +68,7 @@ class _MutableChunk:
         self.page_count = int(page_count)
 
     def matrix(self) -> np.ndarray:
+        """Pending vectors stacked into an ``(n, d)`` float32 matrix."""
         return np.vstack([v[np.newaxis, :] for v in self.vectors])
 
     def __len__(self) -> int:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import List, Tuple
+from typing import AbstractSet, List, Tuple
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class NeighborSet:
         return -self._heap[0][0]
 
     def ids(self) -> np.ndarray:
-        """Descriptor ids of the current neighbors, best first."""
+        """Descriptor ids (int64) of the current neighbors, best first."""
         return np.asarray([n.descriptor_id for n in self.sorted()], dtype=np.int64)
 
     def sorted(self) -> List[Neighbor]:
@@ -160,7 +160,7 @@ class NeighborSet:
         """Current neighbor ids as a Python set (for precision counting)."""
         return {-i for _, i in self._heap}
 
-    def true_match_count(self, truth) -> int:
+    def true_match_count(self, truth: AbstractSet[int]) -> int:
         """How many current neighbor ids appear in ``truth`` (a set).
 
         One C-level set intersection instead of a Python-level membership

@@ -74,6 +74,7 @@ class SearchResult:
         return self.trace.final_elapsed_s
 
     def neighbor_ids(self) -> np.ndarray:
+        """Descriptor ids of the result neighbors, best first (int64)."""
         return np.asarray([n.descriptor_id for n in self.neighbors], dtype=np.int64)
 
 

@@ -102,11 +102,11 @@ class SearchTrace:
         return math.inf
 
     def matches_curve(self) -> np.ndarray:
-        """``true_matches`` after each chunk, as an int array."""
+        """``true_matches`` after each chunk, as an int64 array."""
         return np.asarray([e.true_matches for e in self.events], dtype=np.int64)
 
     def elapsed_curve(self) -> np.ndarray:
-        """Completion timestamp of each chunk."""
+        """Completion timestamp of each chunk, dtype float64."""
         return np.asarray([e.elapsed_s for e in self.events], dtype=np.float64)
 
     @property

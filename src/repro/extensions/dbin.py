@@ -75,7 +75,7 @@ class GaussianMixture:
         return means
 
     def log_densities(self, data: np.ndarray) -> np.ndarray:
-        """``(n, K)`` matrix of weighted per-component log densities."""
+        """``(n, K)`` float64 matrix of weighted per-component log densities."""
         data = np.atleast_2d(np.asarray(data, dtype=np.float64))
         n, d = data.shape
         out = np.empty((n, self.n_components))
@@ -117,7 +117,7 @@ class GaussianMixture:
         return self
 
     def assign(self, data: np.ndarray) -> np.ndarray:
-        """Most probable component per point."""
+        """Most probable component per point (dtype intp)."""
         return np.argmax(self.log_densities(data), axis=1)
 
 
@@ -151,6 +151,7 @@ class DbinIndex:
         return len(self._bins)
 
     def bin_sizes(self) -> np.ndarray:
+        """Points assigned to each bin, dtype int64."""
         return np.asarray([rows.size for rows in self._bins], dtype=np.int64)
 
     # -- abort statistic -------------------------------------------------------

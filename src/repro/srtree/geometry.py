@@ -68,10 +68,11 @@ class Rect:
 
     @property
     def center(self) -> np.ndarray:
+        """Box midpoint per dimension, dtype float64."""
         return (self.lows + self.highs) / 2.0
 
     def extents(self) -> np.ndarray:
-        """Side length per dimension."""
+        """Side length per dimension, dtype float64."""
         return self.highs - self.lows
 
     def contains_point(self, point: np.ndarray, eps: float = 1e-9) -> bool:

@@ -79,7 +79,7 @@ class SRTree:
 
     @property
     def vectors(self) -> np.ndarray:
-        """Backing point matrix (row i = point inserted i-th)."""
+        """Backing float64 point matrix (row i = point inserted i-th)."""
         return self._vectors
 
     def _append_vector(self, point: np.ndarray) -> int:

@@ -19,12 +19,15 @@ from .collection_file import (
     read_collection_file,
     write_collection_file,
 )
+from .errors import MAX_DIMENSIONS, CorruptFileError
 from .index_file import index_file_bytes, read_index_file, write_index_file
 from .pages import DEFAULT_PAGE_BYTES, PageGeometry
 from .records import RecordCodec
 
 __all__ = [
     "ChunkExtent",
+    "CorruptFileError",
+    "MAX_DIMENSIONS",
     "COLLECTION_MAGIC",
     "read_collection_file",
     "write_collection_file",

@@ -20,6 +20,7 @@ from typing import BinaryIO, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .errors import CorruptFileError
 from .pages import PageGeometry
 from .records import RecordCodec
 
@@ -133,7 +134,7 @@ class ChunkFileReader:
         raw = self._file.read(extent.page_count * self._geometry.page_bytes)
         needed = extent.n_descriptors * self._codec.record_bytes
         if len(raw) < needed:
-            raise IOError(
+            raise CorruptFileError(
                 f"chunk file truncated: wanted {needed} bytes at page "
                 f"{extent.page_offset}, got {len(raw)}"
             )

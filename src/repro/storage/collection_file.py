@@ -25,6 +25,7 @@ from typing import BinaryIO, Union
 import numpy as np
 
 from ..core.dataset import DescriptorCollection
+from .errors import MAX_DIMENSIONS, CorruptFileError
 from .records import RecordCodec
 
 __all__ = ["write_collection_file", "read_collection_file", "COLLECTION_MAGIC"]
@@ -66,27 +67,37 @@ def read_collection_file(source: PathOrFile) -> DescriptorCollection:
     try:
         raw_header = stream.read(_HEADER.size)
         if len(raw_header) != _HEADER.size:
-            raise IOError("collection file too short for header")
+            raise CorruptFileError("collection file too short for header")
         magic, version, dimensions, count = _HEADER.unpack(raw_header)
         if magic != COLLECTION_MAGIC:
-            raise IOError(f"bad collection file magic {magic!r}")
+            raise CorruptFileError(f"bad collection file magic {magic!r}")
         if version != _VERSION:
-            raise IOError(f"unsupported collection file version {version}")
+            raise CorruptFileError(
+                f"unsupported collection file version {version}"
+            )
+        # A corrupted uint32 dims field scales the per-record size, so it
+        # must be bounded *before* the count guard below can mean anything
+        # (tiny count x enormous record size still allocates gigabytes).
+        if not 1 <= dimensions <= MAX_DIMENSIONS:
+            raise CorruptFileError(
+                f"collection file header has implausible dimensions "
+                f"{dimensions} (expected 1..{MAX_DIMENSIONS})"
+            )
         codec = RecordCodec(dimensions)
         # A corrupted uint64 count would make stream.read blow up (or try
         # to allocate petabytes) before the truncation check can fire.
         if count * (codec.record_bytes + 8) > _MAX_PAYLOAD_BYTES:
-            raise IOError(
+            raise CorruptFileError(
                 f"collection file header implies implausible size "
                 f"(count={count}, dims={dimensions})"
             )
         payload = stream.read(count * codec.record_bytes)
         if len(payload) != count * codec.record_bytes:
-            raise IOError("collection file truncated (records)")
+            raise CorruptFileError("collection file truncated (records)")
         ids, vectors = codec.decode(payload)
         raw_images = stream.read(count * 8)
         if len(raw_images) != count * 8:
-            raise IOError("collection file truncated (image ids)")
+            raise CorruptFileError("collection file truncated (image ids)")
         image_ids = np.frombuffer(raw_images, dtype="<i8").astype(np.int64)
         return DescriptorCollection(vectors=vectors, ids=ids, image_ids=image_ids)
     finally:

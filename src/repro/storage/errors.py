@@ -1,0 +1,29 @@
+"""Typed errors for the on-disk formats.
+
+:class:`CorruptFileError` subclasses :class:`IOError` so existing
+``except IOError`` handlers (and tests matching on message substrings)
+keep working, while callers that care can catch corruption specifically
+— e.g. a serving layer that wants to quarantine a bad shard rather than
+retry the read.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CorruptFileError", "MAX_DIMENSIONS"]
+
+#: Upper bound accepted for the ``dims`` header field of any on-disk
+#: format.  The paper's descriptors are 24-d; anything above this is a
+#: corrupted or hostile header, not a real collection — and because
+#: per-record byte size scales with ``dims``, an unchecked huge value
+#: defeats the payload-size guard on ``count`` (small count x enormous
+#: record size still allocates gigabytes).
+MAX_DIMENSIONS = 1 << 16
+
+
+class CorruptFileError(IOError):
+    """An on-disk structure failed validation while being read.
+
+    Raised for bad magic, unsupported versions, implausible header
+    fields (negative/overflowing counts or dimensions) and truncated
+    payloads in the collection, index and chunk files.
+    """

@@ -33,12 +33,16 @@ from typing import BinaryIO, List, Sequence, Union
 import numpy as np
 
 from ..core.chunk import ChunkMeta
+from .errors import MAX_DIMENSIONS, CorruptFileError
 
 __all__ = ["write_index_file", "read_index_file", "index_file_bytes", "MAGIC"]
 
 MAGIC = b"EFF2CIDX"
 VERSION = 1
 _HEADER = struct.Struct("<8sIIQ8s")
+#: Reject headers whose implied payload exceeds this (1 TiB) — guards
+#: against corrupted ``n_chunks``/``dims`` fields triggering huge reads.
+_MAX_PAYLOAD_BYTES = 1 << 40
 
 PathOrFile = Union[str, os.PathLike, BinaryIO]
 
@@ -100,16 +104,28 @@ def read_index_file(source: PathOrFile) -> List[ChunkMeta]:
     try:
         raw_header = stream.read(_HEADER.size)
         if len(raw_header) != _HEADER.size:
-            raise IOError("index file too short for header")
+            raise CorruptFileError("index file too short for header")
         magic, version, dimensions, n_chunks, _ = _HEADER.unpack(raw_header)
         if magic != MAGIC:
-            raise IOError(f"bad index file magic {magic!r}")
+            raise CorruptFileError(f"bad index file magic {magic!r}")
         if version != VERSION:
-            raise IOError(f"unsupported index file version {version}")
+            raise CorruptFileError(f"unsupported index file version {version}")
+        # Bound dims before deriving the entry size from it, then bound the
+        # implied payload — same discipline as the collection-file reader.
+        if not 1 <= dimensions <= MAX_DIMENSIONS:
+            raise CorruptFileError(
+                f"index file header has implausible dimensions {dimensions} "
+                f"(expected 1..{MAX_DIMENSIONS})"
+            )
         dtype = _entry_dtype(dimensions)
+        if n_chunks * dtype.itemsize > _MAX_PAYLOAD_BYTES:
+            raise CorruptFileError(
+                f"index file header implies implausible size "
+                f"(n_chunks={n_chunks}, dims={dimensions})"
+            )
         raw = stream.read(n_chunks * dtype.itemsize)
         if len(raw) != n_chunks * dtype.itemsize:
-            raise IOError("index file truncated")
+            raise CorruptFileError("index file truncated")
         entries = np.frombuffer(raw, dtype=dtype)
         return [
             ChunkMeta(

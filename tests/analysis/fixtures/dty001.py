@@ -1,0 +1,33 @@
+"""DTY001 fixture — literal float32 constructions fed to distance kernels."""
+
+import numpy as np
+
+from repro.core.distance import pairwise_squared_distances, squared_distances
+
+
+def violation_astype(query, points):
+    return squared_distances(query.astype(np.float32), points)  # expect DTY001
+
+
+def violation_constructor(query, points):
+    return squared_distances(np.float32(query), points)  # expect DTY001
+
+
+def violation_dtype_kwarg(queries, points):
+    return pairwise_squared_distances(
+        np.asarray(queries, dtype="float32"), points  # expect DTY001
+    )
+
+
+def negative_plain_arguments(query, points):
+    # Stored float32 data flowing through variables is fine: the kernel
+    # itself promotes to float64.
+    return squared_distances(query, points)
+
+
+def negative_float64_cast(query, points):
+    return squared_distances(query.astype(np.float64), points)
+
+
+def suppressed_cast(query, points):
+    return squared_distances(query.astype(np.float32), points)  # repro-lint: disable=DTY001

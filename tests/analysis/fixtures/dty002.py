@@ -1,0 +1,29 @@
+"""DTY002 fixture — public ndarray-returning functions must state a dtype."""
+
+import numpy as np
+
+
+def violation_no_dtype_anywhere(n: int) -> np.ndarray:  # expect DTY002
+    """Random-access helper with a silent result type."""
+    return np.arange(n)
+
+
+def negative_dtype_in_docstring(n: int) -> np.ndarray:
+    """Consecutive integers, dtype int64."""
+    return np.arange(n, dtype=np.int64)
+
+
+def negative_parameterized_annotation(n: int) -> "npt.NDArray[np.float64]":
+    return np.zeros(n)
+
+
+def _negative_private(n: int) -> np.ndarray:
+    return np.arange(n)
+
+
+def negative_non_array(n: int) -> int:
+    return n
+
+
+def suppressed_undocumented(n: int) -> np.ndarray:  # repro-lint: disable=DTY002
+    return np.ones(n)

@@ -1,0 +1,16 @@
+"""LAY001 fixture — linted as ``core/lay001.py``: a core module reaching
+into the application shell (and stdlib/third-party imports that must not
+trip the rule)."""
+
+import os  # stdlib: never a boundary violation
+import numpy as np  # third-party: never a boundary violation
+
+import repro.experiments  # expect LAY001
+from repro import system  # expect LAY001
+from repro.cli import main  # expect LAY001
+
+from repro.storage.pages import PageGeometry  # allowed: core -> storage
+from .distance import squared_distances  # allowed: within-layer relative
+from ..simio.clock import SimulatedClock  # allowed: core -> simio
+
+from repro.extensions import vafile  # repro-lint: disable=LAY001

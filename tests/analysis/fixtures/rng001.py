@@ -1,0 +1,21 @@
+"""RNG001 fixture — legacy numpy.random global-state calls."""
+
+import numpy
+import numpy as np
+
+
+def violation_rand():
+    return np.random.rand(3)  # expect RNG001
+
+
+def violation_seed():
+    numpy.random.seed(0)  # expect RNG001
+
+
+def negative_seeded_generator():
+    rng = np.random.default_rng(42)
+    return rng.standard_normal(3)
+
+
+def suppressed_legacy():
+    return np.random.permutation(4)  # repro-lint: disable=RNG001

@@ -1,0 +1,21 @@
+"""RNG002 fixture — stdlib random module-level calls."""
+
+import random
+from random import shuffle
+
+
+def violation_module_call():
+    return random.random()  # expect RNG002
+
+
+def violation_bare_import(items):
+    shuffle(items)  # expect RNG002
+
+
+def negative_seeded_instance():
+    rng = random.Random(7)
+    return rng.random()
+
+
+def suppressed_choice(items):
+    return random.choice(items)  # repro-lint: disable=RNG002

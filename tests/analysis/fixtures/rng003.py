@@ -1,0 +1,28 @@
+"""RNG003 fixture — default_rng() without a seed."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def violation_no_seed():
+    return np.random.default_rng()  # expect RNG003
+
+
+def violation_bare_import_no_seed():
+    return default_rng()  # expect RNG003
+
+
+def violation_literal_none():
+    return np.random.default_rng(None)  # expect RNG003
+
+
+def negative_positional_seed():
+    return np.random.default_rng(42)
+
+
+def negative_keyword_seed(seed):
+    return np.random.default_rng(seed=seed)
+
+
+def suppressed_entropy_rng():
+    return np.random.default_rng()  # repro-lint: disable=RNG003

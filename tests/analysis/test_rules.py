@@ -1,0 +1,97 @@
+"""Fixture-based tests: one fixture module per rule.
+
+Each fixture under ``fixtures/`` contains positive cases (lines marked
+``# expect RULEID``), negative cases and an inline-suppression case.  The
+test lints the fixture text under a chosen package-relative path (which
+fixes its layer) and asserts the reported ``(line, rule)`` pairs match
+the markers exactly — so a rule that over-fires breaks the test just as
+loudly as one that misses.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: fixture file -> package-relative path it is linted as.  Layers vary on
+#: purpose: determinism/dtype rules apply package-wide, CLK001/LAY001 are
+#: layer-scoped.
+FIXTURES = {
+    "clk001.py": "core/clk001.py",
+    "rng001.py": "extensions/rng001.py",
+    "rng002.py": "experiments/rng002.py",
+    "rng003.py": "chunking/rng003.py",
+    "dty001.py": "core/dty001.py",
+    "dty002.py": "simio/dty002.py",
+    "lay001.py": "core/lay001.py",
+}
+
+_EXPECT = re.compile(r"#\s*expect\s+([A-Z]{3}\d{3})")
+
+
+def load_fixture(name):
+    with open(os.path.join(FIXTURE_DIR, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def expected_markers(source):
+    """``{(line, rule)}`` pairs declared by ``# expect RULE`` comments."""
+    marks = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            marks.add((lineno, match.group(1)))
+    return marks
+
+
+@pytest.mark.parametrize("fixture,relpath", sorted(FIXTURES.items()))
+def test_fixture_matches_markers(fixture, relpath):
+    source = load_fixture(fixture)
+    expected = expected_markers(source)
+    assert expected, f"fixture {fixture} declares no expected violations"
+    found = {(d.line, d.rule) for d in lint_source(source, relpath)}
+    assert found == expected
+
+
+def test_clk001_is_layer_scoped():
+    """The same wall-clock fixture is clean outside the simulated layers."""
+    source = load_fixture("clk001.py")
+    diagnostics = lint_source(source, "experiments/clk001.py")
+    assert not [d for d in diagnostics if d.rule == "CLK001"]
+
+
+def test_clk001_respects_config_allowlist():
+    """simio/clock.py (the WallClock implementation) is allowlisted."""
+    source = "import time\n\n\ndef now():\n    return time.perf_counter()\n"
+    assert [d.rule for d in lint_source(source, "simio/clock.py")] == []
+    assert [d.rule for d in lint_source(source, "simio/other.py")] == ["CLK001"]
+
+
+def test_lay001_simio_must_not_import_core():
+    source = "from repro.core.search import ChunkSearcher\n"
+    diagnostics = lint_source(source, "simio/pipeline.py")
+    assert [d.rule for d in diagnostics] == ["LAY001"]
+    # The same import is fine from core itself.
+    assert lint_source(source, "core/search.py") == []
+
+
+def test_lay001_relative_imports_resolved():
+    # In core/, "from .. import system" reaches repro.system: forbidden.
+    diagnostics = lint_source("from .. import system\n", "core/search.py")
+    assert [d.rule for d in diagnostics] == ["LAY001"]
+    # "from . import chunk" stays inside core: allowed.
+    assert lint_source("from . import chunk\n", "core/search.py") == []
+
+
+def test_diagnostics_carry_location_and_message():
+    source = "import time\nt = time.time()\n"
+    (diagnostic,) = lint_source(source, "storage/pages.py")
+    assert diagnostic.rule == "CLK001"
+    assert diagnostic.path == "storage/pages.py"
+    assert diagnostic.line == 2
+    assert "SimulatedClock" in diagnostic.message
+    assert diagnostic.format().startswith("storage/pages.py:2:")

@@ -59,3 +59,39 @@ class TestValidation:
         data = stream.getvalue()
         with pytest.raises(IOError, match="image ids"):
             read_collection_file(io.BytesIO(data[:-4]))
+
+
+class TestHeaderGuards:
+    """Corrupted dims/count header fields must fail fast and typed."""
+
+    @staticmethod
+    def _with_dims(collection, dims):
+        import struct
+
+        stream = io.BytesIO()
+        write_collection_file(stream, collection)
+        data = bytearray(stream.getvalue())
+        # Header: <8sIIQ -> dims is the uint32 at offset 12.
+        struct.pack_into("<I", data, 12, dims)
+        return io.BytesIO(bytes(data))
+
+    def test_zero_dimensions_rejected(self, tiny_collection):
+        from repro.storage.errors import CorruptFileError
+
+        with pytest.raises(CorruptFileError, match="implausible dimensions"):
+            read_collection_file(self._with_dims(tiny_collection, 0))
+
+    def test_overflowing_dimensions_rejected(self, tiny_collection):
+        from repro.storage.errors import CorruptFileError
+
+        # 2**32 - 1 survives the uint32 pack but implies ~17 GB records.
+        with pytest.raises(CorruptFileError, match="implausible dimensions"):
+            read_collection_file(self._with_dims(tiny_collection, 2**32 - 1))
+
+    def test_corrupt_error_is_ioerror(self):
+        from repro.storage.errors import CorruptFileError
+
+        # Existing except-IOError call sites keep catching corruption.
+        assert issubclass(CorruptFileError, IOError)
+        with pytest.raises(IOError):
+            read_collection_file(io.BytesIO(b"WRONG!!!" + b"\x00" * 100))

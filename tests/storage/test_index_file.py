@@ -96,3 +96,40 @@ class TestValidation:
 
     def test_magic_constant(self):
         assert MAGIC == b"EFF2CIDX"
+
+
+class TestHeaderGuards:
+    """Corrupted dims/n_chunks fields must fail fast and typed."""
+
+    @staticmethod
+    def _packed(metas, dims=None, n_chunks=None):
+        import io as _io
+        import struct
+
+        stream = _io.BytesIO()
+        write_index_file(stream, metas)
+        data = bytearray(stream.getvalue())
+        # Header: <8sIIQ8s -> dims at offset 12, n_chunks at offset 16.
+        if dims is not None:
+            struct.pack_into("<I", data, 12, dims)
+        if n_chunks is not None:
+            struct.pack_into("<Q", data, 16, n_chunks)
+        return _io.BytesIO(bytes(data))
+
+    def test_zero_dimensions_rejected(self):
+        from repro.storage.errors import CorruptFileError
+
+        with pytest.raises(CorruptFileError, match="implausible dimensions"):
+            read_index_file(self._packed(make_metas(3), dims=0))
+
+    def test_overflowing_dimensions_rejected(self):
+        from repro.storage.errors import CorruptFileError
+
+        with pytest.raises(CorruptFileError, match="implausible dimensions"):
+            read_index_file(self._packed(make_metas(3), dims=2**32 - 1))
+
+    def test_overflowing_chunk_count_rejected(self):
+        from repro.storage.errors import CorruptFileError
+
+        with pytest.raises(CorruptFileError, match="implausible size"):
+            read_index_file(self._packed(make_metas(3), n_chunks=2**63))
