@@ -21,7 +21,7 @@ PACKAGE_NAME = "repro"
 #: reads here would silently contaminate the paper's time-to-quality
 #: curves with hardware-dependent noise.
 SIMULATED_LAYERS: FrozenSet[str] = frozenset(
-    {"core", "simio", "storage", "chunking", "srtree"}
+    {"core", "simio", "storage", "chunking", "srtree", "faults"}
 )
 
 #: Files that may read the wall clock despite living in a simulated
@@ -44,6 +44,10 @@ FORBIDDEN_IMPORTS: Mapping[str, FrozenSet[str]] = {
     "storage": _APP_SHELL,
     "chunking": _APP_SHELL,
     "srtree": _APP_SHELL,
+    # Fault plans wrap storage readers and the simio disk model; the
+    # degraded-execution *policy* lives in core, which imports faults —
+    # never the other way around.
+    "faults": _APP_SHELL | frozenset({"core"}),
     "analysis": _APP_SHELL | SIMULATED_LAYERS | frozenset({"workloads", "parallel"}),
 }
 

@@ -8,6 +8,7 @@ Usage::
     repro collection [--scale test]          # collection statistics
     repro demo                               # tiny end-to-end search demo
     repro batch-search SYSTEM COLLECTION     # batched queries + throughput
+    repro faultsim [--rates 0,0.1,0.3]       # quality-vs-fault-rate sweep
     repro lint [PATH]                        # AST-based invariant checker
 
 The experiment subcommand regenerates the paper artefacts (Tables 1-2,
@@ -25,6 +26,7 @@ from .analysis.cli import add_lint_arguments, run_lint
 from .experiments import (
     ablations,
     chunk_size_sweep,
+    faultsim,
     fig1,
     quality_figures,
     table1,
@@ -65,6 +67,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[[ExperimentData], object]] = {
     "ablation_related_work": ablations.run_related_work_shootout,
     "ablation_approx_rules": ablations.run_approx_rules_ablation,
     "lessons_summary": ablations.run_lessons_summary,
+    "faultsim": faultsim.run,
 }
 
 
@@ -172,6 +175,31 @@ def _build_parser() -> argparse.ArgumentParser:
     image_query.add_argument("collection")
     image_query.add_argument("--image", type=int, required=True)
     image_query.add_argument("--top", type=int, default=5)
+
+    faultsim_p = sub.add_parser(
+        "faultsim",
+        help="sweep storage fault rates; emit quality-vs-fault-rate curves",
+    )
+    faultsim_p.add_argument("--scale", default="test")
+    faultsim_p.add_argument(
+        "--seed", type=int, default=faultsim.DEFAULT_SEED,
+        help="fault-plan root seed (same seed => same curve, bit for bit)",
+    )
+    faultsim_p.add_argument(
+        "--rates", default=None,
+        help="comma-separated fault rates in [0, 0.5] (default: built-in sweep)",
+    )
+    faultsim_p.add_argument(
+        "--family", default="SR", choices=("SR", "BAG"),
+        help="chunk-forming family to degrade",
+    )
+    faultsim_p.add_argument("--size-class", default="MEDIUM",
+                            choices=("SMALL", "MEDIUM", "LARGE"))
+    faultsim_p.add_argument("--workload", default="DQ", choices=("DQ", "SQ"))
+    faultsim_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the sweep as a deterministic JSON report",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -413,6 +441,48 @@ def _cmd_image_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    import json
+
+    scale = get_scale(args.scale)
+    if args.rates is None:
+        rates = list(faultsim.DEFAULT_RATES)
+    else:
+        try:
+            rates = [float(token) for token in args.rates.split(",") if token.strip()]
+        except ValueError:
+            raise CliError(f"--rates must be comma-separated numbers, got {args.rates!r}")
+        if not rates:
+            raise CliError("--rates must name at least one fault rate")
+        if any(r < 0.0 or r > 0.5 for r in rates):
+            raise CliError("fault rates must lie in [0, 0.5]")
+    data = prepare(scale)
+    result = faultsim.sweep(
+        data,
+        family=args.family,
+        size_class=args.size_class,
+        workload_name=args.workload,
+        rates=rates,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.json:
+        payload = faultsim.report(
+            data,
+            family=args.family,
+            size_class=args.size_class,
+            workload_name=args.workload,
+            rates=rates,
+            seed=args.seed,
+            figure=result,
+        )
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "list-experiments": _cmd_list,
     "experiment": _cmd_experiment,
@@ -423,6 +493,7 @@ _COMMANDS = {
     "batch-search": _cmd_batch_search,
     "query": _cmd_query,
     "image-query": _cmd_image_query,
+    "faultsim": _cmd_faultsim,
     "lint": run_lint,
 }
 

@@ -39,9 +39,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import ChunkFaultOutcome
 from ..parallel import resolve_workers, run_parallel, shard
 from ..simio.calibration import PAPER_2005_COST_MODEL
 from ..simio.pipeline import CostModel
+from ..storage.errors import CorruptFileError
 from .chunk_index import ChunkIndex
 from .distance import pairwise_squared_distances
 from .neighbors import NeighborSet
@@ -139,6 +142,7 @@ class _QueryState:
         "rank0",
         "stop_reason",
         "completed",
+        "degraded",
         "done",
     )
 
@@ -181,6 +185,7 @@ class _QueryState:
         self.rank0 = 0
         self.stop_reason = "exhausted"
         self.completed = False
+        self.degraded = False
         self.done = False
 
     @property
@@ -198,6 +203,7 @@ class _QueryState:
             trace=self.trace,
             stop_reason=self.stop_reason,
             completed=self.completed,
+            degraded=self.degraded,
         )
 
 
@@ -238,6 +244,18 @@ class BatchChunkSearcher:
         ]
         self._overlap = cost_model.overlap_io_cpu
 
+    # -- ownership -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the underlying index (and its chunk reader)."""
+        self.index.close()
+
+    def __enter__(self) -> "BatchChunkSearcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- ranking -------------------------------------------------------------
 
     def rank_chunks_batch(
@@ -273,6 +291,7 @@ class BatchChunkSearcher:
         stop_rule: Optional[StopRule] = None,
         true_neighbor_ids: Optional[Sequence[Optional[Sequence[int]]]] = None,
         workers: int = 1,
+        faults: Optional[FaultInjector] = None,
     ) -> BatchSearchResult:
         """Run every query of a batch; per-query outcomes match
         ``ChunkSearcher.search``.
@@ -297,6 +316,12 @@ class BatchChunkSearcher:
             worker count.  Ignored (forced to 1) when the cost model
             carries a shared page cache, whose simulated state depends on
             the global touch order.
+        faults:
+            Optional fault injector enabling degraded execution, exactly
+            as in ``ChunkSearcher.search``.  The fault plan is keyed by a
+            query's *position in this batch*, so ``results[i]`` matches
+            ``ChunkSearcher.search(queries[i], ..., query_index=i)`` —
+            faults included — regardless of engine or worker count.
         """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
@@ -365,19 +390,20 @@ class BatchChunkSearcher:
         if shared_cache:
             # Shared simulated page cache: charge I/O in the sequential
             # loop's exact touch order (query-major).
+            failed_chunks: set = set()
             for state in states:
-                self._run_query_major(state, chunk_cache)
+                self._run_query_major(state, chunk_cache, faults, failed_chunks)
         else:
             n_workers = resolve_workers(workers, len(states))
             if n_workers <= 1:
-                self._run_chunk_major(states, chunk_cache)
+                self._run_chunk_major(states, chunk_cache, faults)
             else:
                 # Shard the batch; each shard keeps its own content cache so
                 # threads never contend on a dict (chunks hot in several
                 # shards are read once per shard, still far below once per
                 # query).
                 run_parallel(
-                    lambda group: self._run_chunk_major(group, {}),
+                    lambda group: self._run_chunk_major(group, {}, faults),
                     shard(states, n_workers),
                     workers=n_workers,
                 )
@@ -400,6 +426,24 @@ class BatchChunkSearcher:
             cache[chunk_id] = cached
         return cached
 
+    def _try_read_chunk(
+        self,
+        chunk_id: int,
+        cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        failed: set,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Degraded-mode chunk read: a *real* storage failure (e.g. a CRC
+        mismatch) marks the chunk failed for the whole batch — one actual
+        read attempt per chunk, shared by every query — and returns None
+        so the caller folds it into the skip policy."""
+        if chunk_id in failed:
+            return None
+        try:
+            return self._read_chunk(chunk_id, cache)
+        except CorruptFileError:
+            failed.add(chunk_id)
+            return None
+
     def _process_chunk_for_state(
         self,
         state: _QueryState,
@@ -407,6 +451,7 @@ class BatchChunkSearcher:
         ids: np.ndarray,
         distances: np.ndarray,
         min_d: Optional[float] = None,
+        outcome: Optional[ChunkFaultOutcome] = None,
     ) -> None:
         """Apply one chunk's scan results to one query: timing charge,
         neighbor update, trace event, completion proof, stop rule —
@@ -414,13 +459,18 @@ class BatchChunkSearcher:
 
         ``distances`` is the chunk's (already square-rooted) distance row;
         ``min_d`` is its minimum when the caller computed it batched
-        (``None`` computes it here).
+        (``None`` computes it here).  ``outcome`` is the (successful)
+        fault outcome of this access under degraded execution — its
+        ``extra_io_s`` lands on the chunk's I/O charge, its kind/retries
+        on the trace event.
         """
+        extra_io_s = outcome.extra_io_s if outcome is not None else 0.0
         if state.simulator is not None:
             elapsed = state.simulator.process_chunk(
                 self._page_list[chunk_id],
                 self._count_list[chunk_id],
                 page_offset=self._page_offsets[chunk_id],
+                extra_io_s=extra_io_s,
             )
         else:
             # PipelineSimulator.process_chunk inlined on three floats —
@@ -428,6 +478,8 @@ class BatchChunkSearcher:
             # bit-identical (R[i] = max(R[i-1], C[i-2]) + io;
             # C[i] = max(R[i], C[i-1]) + cpu; serial without overlap).
             io = self._io_cost[chunk_id]
+            if extra_io_s:
+                io += extra_io_s
             cpu = self._cpu_cost[chunk_id]
             prev_proc = state.prev_proc
             if self._overlap:
@@ -456,25 +508,44 @@ class BatchChunkSearcher:
                 if state.truth is not None:
                     state.matches = neighbors.true_match_count(state.truth)
         next_rank = state.rank0 + 1
-        state.events.append(
-            TraceEvent(
-                chunk_id=chunk_id,
-                rank=next_rank,
-                elapsed_s=elapsed,
-                n_descriptors=self._count_list[chunk_id],
-                neighbors_found=n_found,
-                kth_distance=kth,
-                true_matches=state.matches,
+        if outcome is None:
+            state.events.append(
+                TraceEvent(
+                    chunk_id=chunk_id,
+                    rank=next_rank,
+                    elapsed_s=elapsed,
+                    n_descriptors=self._count_list[chunk_id],
+                    neighbors_found=n_found,
+                    kth_distance=kth,
+                    true_matches=state.matches,
+                )
             )
-        )
+        else:
+            state.events.append(
+                TraceEvent(
+                    chunk_id=chunk_id,
+                    rank=next_rank,
+                    elapsed_s=elapsed,
+                    n_descriptors=self._count_list[chunk_id],
+                    neighbors_found=n_found,
+                    kth_distance=kth,
+                    true_matches=state.matches,
+                    fault=outcome.kind,
+                    retries=outcome.retries,
+                )
+            )
         remaining_lb = (
             state.suffix_list[next_rank]
             if next_rank < state.n_ranks
             else math.inf
         )
         if n_found >= state.k and remaining_lb > kth:
-            # The completion proof (SearchProgress.completion_proven).
-            state.finish("completed", True)
+            # The completion proof (SearchProgress.completion_proven) —
+            # it cannot claim exactness over a degraded scan.
+            if state.degraded:
+                state.finish("proof-degraded", False)
+            else:
+                state.finish("completed", True)
             return
         rule = state.stop_rule
         # ExactCompletion never stops early; skip building the progress
@@ -495,13 +566,83 @@ class BatchChunkSearcher:
         state.rank0 = next_rank
         if next_rank >= state.n_ranks:
             # Every chunk read without the proof firing early: the result
-            # is nevertheless exact (there is nothing left to read).
-            state.finish("exhausted", True)
+            # is nevertheless exact (there is nothing left to read) —
+            # unless skipped chunks left holes in the scan.
+            state.finish("exhausted", not state.degraded)
+
+    def _skip_chunk_for_state(
+        self,
+        state: _QueryState,
+        chunk_id: int,
+        outcome: ChunkFaultOutcome,
+    ) -> None:
+        """Apply a skipped chunk to one query: the failed attempts occupy
+        the disk (``outcome.extra_io_s``) but no CPU work happens and the
+        neighbor set is untouched — mirroring the sequential searcher's
+        degraded branch (``PipelineSimulator.skip_chunk``) statement for
+        statement."""
+        io = outcome.extra_io_s
+        if state.simulator is not None:
+            elapsed = state.simulator.skip_chunk(io)
+        else:
+            prev_proc = state.prev_proc
+            if self._overlap:
+                read_done = max(state.prev_read, state.drained) + io
+                elapsed = max(read_done, prev_proc)
+                state.prev_read = read_done
+            else:
+                elapsed = prev_proc + io
+            state.drained = prev_proc
+            state.prev_proc = elapsed
+        state.degraded = True
+        n_found = state.n_found
+        kth = state.kth
+        next_rank = state.rank0 + 1
+        state.events.append(
+            TraceEvent(
+                chunk_id=chunk_id,
+                rank=next_rank,
+                elapsed_s=elapsed,
+                n_descriptors=self._count_list[chunk_id],
+                neighbors_found=n_found,
+                kth_distance=kth,
+                true_matches=state.matches,
+                skipped=True,
+                fault=outcome.kind,
+                retries=outcome.retries,
+            )
+        )
+        remaining_lb = (
+            state.suffix_list[next_rank]
+            if next_rank < state.n_ranks
+            else math.inf
+        )
+        if n_found >= state.k and remaining_lb > kth:
+            state.finish("proof-degraded", False)
+            return
+        rule = state.stop_rule
+        if type(rule) is not ExactCompletion:
+            reason = rule.check(
+                SearchProgress(
+                    chunks_read=next_rank,
+                    elapsed_s=elapsed,
+                    neighbors_found=n_found,
+                    kth_distance=kth,
+                    remaining_lower_bound=remaining_lb,
+                )
+            )
+            if reason is not None:
+                state.finish(reason, False)
+                return
+        state.rank0 = next_rank
+        if next_rank >= state.n_ranks:
+            state.finish("exhausted", False)
 
     def _run_chunk_major(
         self,
         states: List[_QueryState],
         chunk_cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         """Coalesced execution: chunk scans are shared across the whole
         cohort through a per-batch scan cache.
@@ -513,14 +654,36 @@ class BatchChunkSearcher:
         when it was scanned (``done`` is absorbing and later states have
         not started), so its row is already there — each chunk costs one
         store read, one float64 promotion, and one kernel call per batch,
-        however the per-query rank orders interleave."""
+        however the per-query rank orders interleave.
+
+        Degraded execution (``faults``) preserves the sharing: fault
+        decisions are keyed by ``(query position, chunk)``, never by call
+        order, so injecting them into this chunk-major interleave yields
+        exactly the sequential searcher's per-query outcomes; a chunk
+        whose *real* read fails is marked failed once for the cohort."""
         scanned: Dict[int, tuple] = {}
+        failed_chunks: set = set()
         for state in states:
             process = self._process_chunk_for_state
             order = state.order
             position = state.position
             while not state.done:
                 chunk_id = order[state.rank0]
+                outcome = None
+                if faults is not None:
+                    readable = (
+                        self._try_read_chunk(chunk_id, chunk_cache, failed_chunks)
+                        is not None
+                    )
+                    outcome = faults.outcome(
+                        position,
+                        chunk_id,
+                        self._page_list[chunk_id],
+                        readable=readable,
+                    )
+                    if not outcome.ok:
+                        self._skip_chunk_for_state(state, chunk_id, outcome)
+                        continue
                 entry = scanned.get(chunk_id)
                 if entry is None:
                     ids, vectors = self._read_chunk(chunk_id, chunk_cache)
@@ -541,20 +704,43 @@ class BatchChunkSearcher:
                     scanned[chunk_id] = entry
                 row_of, ids, dists, mins = entry
                 row = row_of[position]
-                process(state, chunk_id, ids, dists[row], mins[row])
+                process(state, chunk_id, ids, dists[row], mins[row], outcome)
 
     def _run_query_major(
         self,
         state: _QueryState,
         chunk_cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        faults: Optional[FaultInjector] = None,
+        failed_chunks: Optional[set] = None,
     ) -> None:
         """Sequential-order execution for shared-cache cost models: one
         query runs to its stop before the next one starts, so simulated
         page touches land in exactly the per-query loop's order."""
         while not state.done:
             chunk_id = state.next_chunk
-            ids, vectors = self._read_chunk(chunk_id, chunk_cache)
+            outcome = None
+            if faults is not None:
+                contents = self._try_read_chunk(
+                    chunk_id,
+                    chunk_cache,
+                    failed_chunks if failed_chunks is not None else set(),
+                )
+                outcome = faults.outcome(
+                    state.position,
+                    chunk_id,
+                    self._page_list[chunk_id],
+                    readable=contents is not None,
+                )
+                if not outcome.ok:
+                    self._skip_chunk_for_state(state, chunk_id, outcome)
+                    continue
+                assert contents is not None
+                ids, vectors = contents
+            else:
+                ids, vectors = self._read_chunk(chunk_id, chunk_cache)
             distances = np.sqrt(
                 pairwise_squared_distances(state.query[np.newaxis, :], vectors)
             )
-            self._process_chunk_for_state(state, chunk_id, ids, distances[0])
+            self._process_chunk_for_state(
+                state, chunk_id, ids, distances[0], outcome=outcome
+            )

@@ -63,6 +63,12 @@ class InMemoryChunkStore:
     def close(self) -> None:
         """Nothing to release for the in-memory store."""
 
+    def __enter__(self) -> "InMemoryChunkStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 class OnDiskChunkStore:
     """Chunk contents read from a real chunk file."""
@@ -73,18 +79,32 @@ class OnDiskChunkStore:
         extents: Sequence[ChunkExtent],
         dimensions: int,
         geometry: Optional[PageGeometry] = None,
+        verify_checksums: bool = True,
     ):
-        self._reader = ChunkFileReader(path, dimensions, geometry)
+        self._reader = ChunkFileReader(
+            path, dimensions, geometry, verify_checksums=verify_checksums
+        )
         self._extents = list(extents)
 
     def __len__(self) -> int:
         return len(self._extents)
+
+    @property
+    def has_checksums(self) -> bool:
+        """True when the backing chunk file carries a CRC32 table (v2)."""
+        return self._reader.has_checksums
 
     def read_chunk(self, chunk_id: int) -> Tuple[np.ndarray, np.ndarray]:
         return self._reader.read_chunk(self._extents[chunk_id])
 
     def close(self) -> None:
         self._reader.close()
+
+    def __enter__(self) -> "OnDiskChunkStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 @dataclasses.dataclass
@@ -153,6 +173,12 @@ class ChunkIndex:
     def close(self) -> None:
         self.store.close()
 
+    def __enter__(self) -> "ChunkIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- persistence -------------------------------------------------------
 
     def save(self, directory: str) -> None:
@@ -186,21 +212,39 @@ class ChunkIndex:
         write_index_file(os.path.join(directory, INDEX_FILE_NAME), saved_metas)
 
     @classmethod
-    def load(cls, directory: str, dimensions: int, name: str = "") -> "ChunkIndex":
-        """Open an on-disk chunk index previously written by :meth:`save`."""
+    def load(
+        cls,
+        directory: str,
+        dimensions: int,
+        name: str = "",
+        verify_checksums: bool = True,
+    ) -> "ChunkIndex":
+        """Open an on-disk chunk index previously written by :meth:`save`.
+
+        The chunk-file reader is closed again if construction fails part
+        way (e.g. a store/index chunk-count mismatch), so a failed load
+        never leaks an open file handle.
+        """
         metas = read_index_file(os.path.join(directory, INDEX_FILE_NAME))
         extents = [
             ChunkExtent(m.page_offset, m.page_count, m.n_descriptors) for m in metas
         ]
         store = OnDiskChunkStore(
-            os.path.join(directory, CHUNK_FILE_NAME), extents, dimensions
+            os.path.join(directory, CHUNK_FILE_NAME),
+            extents,
+            dimensions,
+            verify_checksums=verify_checksums,
         )
-        return cls(
-            metas=metas,
-            store=store,
-            dimensions=dimensions,
-            name=name or os.path.basename(os.path.normpath(directory)),
-        )
+        try:
+            return cls(
+                metas=metas,
+                store=store,
+                dimensions=dimensions,
+                name=name or os.path.basename(os.path.normpath(directory)),
+            )
+        except BaseException:
+            store.close()
+            raise
 
 
 def build_chunk_index(

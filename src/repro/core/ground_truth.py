@@ -17,6 +17,8 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..storage.atomic import atomic_output
+from ..storage.errors import CorruptFileError
 from .dataset import DescriptorCollection
 from .distance import (
     DEFAULT_BLOCK_ROWS,
@@ -149,20 +151,34 @@ class GroundTruthStore:
     # -- persistence ("stored the identifiers ... in a file") ---------------
 
     def save(self, path: str) -> None:
+        if not path.endswith(".npz"):
+            path = path + ".npz"
         indices = np.asarray(sorted(self._lists), dtype=np.int64)
         matrix = np.stack([self._lists[int(i)] for i in indices]) if len(indices) else (
             np.empty((0, self.k), dtype=np.int64)
         )
-        np.savez(path, k=np.int64(self.k), indices=indices, ids=matrix)
+        with atomic_output(path) as stream:
+            np.savez(stream, k=np.int64(self.k), indices=indices, ids=matrix)
 
     @classmethod
     def load(cls, path: str) -> "GroundTruthStore":
         if not os.path.exists(path) and os.path.exists(path + ".npz"):
             path = path + ".npz"
         with np.load(path) as data:
+            missing = {"k", "indices", "ids"} - set(data.files)
+            if missing:
+                raise CorruptFileError(
+                    f"ground truth file {path!r} is missing arrays: "
+                    f"{sorted(missing)}"
+                )
             store = cls(int(data["k"]))
             indices = data["indices"]
             matrix = data["ids"]
+            if indices.ndim != 1 or matrix.shape != (indices.shape[0], store.k):
+                raise CorruptFileError(
+                    f"ground truth file {path!r} has inconsistent shapes: "
+                    f"indices {indices.shape}, ids {matrix.shape}, k={store.k}"
+                )
             for row, query_index in enumerate(indices):
                 store.put(int(query_index), matrix[row])
         return store

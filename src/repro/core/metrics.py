@@ -28,6 +28,8 @@ __all__ = [
     "curves_from_traces",
     "completion_stats",
     "CompletionStats",
+    "robustness_stats",
+    "RobustnessStats",
 ]
 
 
@@ -129,5 +131,56 @@ def completion_stats(traces: Sequence[SearchTrace]) -> CompletionStats:
         mean_elapsed_s=float(elapsed.mean()),
         mean_chunks_read=float(chunks.mean()),
         mean_descriptors_scanned=float(scanned.mean()),
+        n_queries=len(traces),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RobustnessStats:
+    """Degraded-execution summary of one workload run under faults.
+
+    Attributes
+    ----------
+    degraded_fraction:
+        Fraction of queries that skipped at least one chunk — for these
+        the exactness guarantee is void even when the proof would have
+        fired.
+    mean_coverage:
+        Mean fraction of visited descriptors actually scanned (1.0 for
+        a fault-free run); the structural bound on how much quality a
+        degraded run can still deliver.
+    mean_chunks_skipped, mean_retries:
+        Per-query averages of abandoned chunks and of read attempts
+        beyond the first (retries also count the attempts preceding an
+        eventual success).
+    mean_elapsed_s:
+        Mean simulated completion time — this is where retry, backoff
+        and spike latency surface, quantifying the *time* side of the
+        fault trade-off alongside the quality side.
+    """
+
+    degraded_fraction: float
+    mean_coverage: float
+    mean_chunks_skipped: float
+    mean_retries: float
+    mean_elapsed_s: float
+    n_queries: int
+
+
+def robustness_stats(traces: Sequence[SearchTrace]) -> RobustnessStats:
+    """Aggregate degraded-execution counters across a workload's traces."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    degraded = np.asarray([t.chunks_skipped > 0 for t in traces])
+    coverage = np.asarray([t.coverage_fraction for t in traces])
+    skipped = np.asarray([t.chunks_skipped for t in traces])
+    retries = np.asarray([t.total_retries for t in traces])
+    elapsed = np.asarray([t.final_elapsed_s for t in traces])
+    return RobustnessStats(
+        degraded_fraction=float(degraded.mean()),
+        mean_coverage=float(coverage.mean()),
+        mean_chunks_skipped=float(skipped.mean()),
+        mean_retries=float(retries.mean()),
+        mean_elapsed_s=float(elapsed.mean()),
         n_queries=len(traces),
     )

@@ -26,8 +26,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import OK_OUTCOME
 from ..simio.calibration import PAPER_2005_COST_MODEL
 from ..simio.pipeline import CostModel
+from ..storage.errors import CorruptFileError
 from .chunk_index import ChunkIndex
 from .distance import squared_distances
 from .neighbors import Neighbor, NeighborSet
@@ -57,17 +60,34 @@ class SearchResult:
         proof, ``"exhausted"`` when every chunk was read, else the stop
         rule's reason string.
     completed:
-        True iff the result is provably the exact k-NN answer.
+        True iff the result is provably the exact k-NN answer.  Never
+        True for a degraded run: a skipped chunk may have held a true
+        neighbor, so the exactness proof is unsound over it.
+    degraded:
+        True when at least one chunk was skipped after exhausting its
+        read retries (see ``trace.chunks_skipped`` for how many and
+        ``coverage_fraction`` for the descriptor coverage that remains).
     """
 
     neighbors: List[Neighbor]
     trace: SearchTrace
     stop_reason: str
     completed: bool
+    degraded: bool = False
 
     @property
     def chunks_read(self) -> int:
         return self.trace.chunks_read
+
+    @property
+    def chunks_skipped(self) -> int:
+        """Chunks abandoned under degraded execution."""
+        return self.trace.chunks_skipped
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of visited descriptors actually scanned (1.0 clean)."""
+        return self.trace.coverage_fraction
 
     @property
     def elapsed_s(self) -> float:
@@ -98,6 +118,18 @@ class ChunkSearcher:
         self._counts = index.descriptor_counts()
         self._pages = index.page_counts()
 
+    # -- ownership -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the underlying index (and its chunk reader)."""
+        self.index.close()
+
+    def __enter__(self) -> "ChunkSearcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- ranking -------------------------------------------------------------
 
     def rank_chunks(self, query: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
@@ -126,6 +158,8 @@ class ChunkSearcher:
         k: int = 30,
         stop_rule: Optional[StopRule] = None,
         true_neighbor_ids: Optional[Sequence[int]] = None,
+        faults: Optional[FaultInjector] = None,
+        query_index: int = 0,
     ) -> SearchResult:
         """Run one query.
 
@@ -143,6 +177,17 @@ class ChunkSearcher:
             Optional ground-truth ids for this query.  When given, every
             trace event records how many true neighbors the intermediate
             result already holds — the paper's quality measurement.
+        faults:
+            Optional fault injector enabling *degraded execution*: chunk
+            reads may fail (injected or real), are retried with backoff
+            charged to the simulated clock, and are skipped once retries
+            run out — the query finishes regardless.  With a zero-rate
+            plan the search is bit-identical to ``faults=None``.  Without
+            an injector, real storage errors propagate as before.
+        query_index:
+            Stable identifier of this query within its workload — the
+            fault plan's decision key, so runs reproduce independently
+            of execution order or engine.
         """
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         if query.shape[0] != self.index.dimensions:
@@ -168,16 +213,41 @@ class ChunkSearcher:
 
         stop_reason = "exhausted"
         completed = False
+        degraded = False
         for rank0, chunk_id in enumerate(np.asarray(order)):
             chunk_id = int(chunk_id)
-            ids, vectors = self.index.read_chunk(chunk_id)
-            elapsed = simulator.process_chunk(
-                int(self._pages[chunk_id]),
-                int(self._counts[chunk_id]),
-                page_offset=self.index.metas[chunk_id].page_offset,
-            )
-            distances = np.sqrt(squared_distances(query, vectors))
-            neighbors.update(distances, ids)
+            if faults is None:
+                ids, vectors = self.index.read_chunk(chunk_id)
+                outcome = OK_OUTCOME
+            else:
+                try:
+                    ids, vectors = self.index.read_chunk(chunk_id)
+                    readable = True
+                except CorruptFileError:
+                    ids = vectors = None
+                    readable = False
+                outcome = faults.outcome(
+                    query_index,
+                    chunk_id,
+                    int(self._pages[chunk_id]),
+                    readable=readable,
+                )
+
+            if outcome.ok:
+                assert vectors is not None and ids is not None
+                elapsed = simulator.process_chunk(
+                    int(self._pages[chunk_id]),
+                    int(self._counts[chunk_id]),
+                    page_offset=self.index.metas[chunk_id].page_offset,
+                    extra_io_s=outcome.extra_io_s,
+                )
+                distances = np.sqrt(squared_distances(query, vectors))
+                neighbors.update(distances, ids)
+            else:
+                # Degraded execution: every retry failed; the chunk is
+                # skipped, its attempts charged as pure I/O time.
+                elapsed = simulator.skip_chunk(outcome.extra_io_s)
+                degraded = True
 
             matches = -1
             if truth is not None:
@@ -191,6 +261,9 @@ class ChunkSearcher:
                     neighbors_found=len(neighbors),
                     kth_distance=neighbors.kth_distance,
                     true_matches=matches,
+                    skipped=not outcome.ok,
+                    fault=outcome.kind,
+                    retries=outcome.retries,
                 )
             )
 
@@ -205,9 +278,13 @@ class ChunkSearcher:
                 remaining_lower_bound=remaining_lb,
             )
             # Completion proof: k found and no remaining chunk can help.
+            # It still bounds the *remaining* chunks when some were
+            # skipped, so the scan stops either way — but a degraded run
+            # can never claim exactness (a skipped chunk may have held a
+            # true neighbor).
             if neighbors.is_full and progress.completion_proven:
-                stop_reason = "completed"
-                completed = True
+                stop_reason = "completed" if not degraded else "proof-degraded"
+                completed = not degraded
                 break
             reason = stop_rule.check(progress)
             if reason is not None:
@@ -215,12 +292,14 @@ class ChunkSearcher:
                 break
         else:
             # All chunks read without the proof firing early: the result is
-            # nevertheless exact (there is nothing left to read).
-            completed = True
+            # nevertheless exact (there is nothing left to read) — unless
+            # skipped chunks left holes in the scan.
+            completed = not degraded
 
         return SearchResult(
             neighbors=neighbors.sorted(),
             trace=trace,
             stop_reason=stop_reason,
             completed=completed,
+            degraded=degraded,
         )

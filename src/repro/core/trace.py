@@ -40,6 +40,15 @@ class TraceEvent:
         How many of the query's *true* k nearest neighbors are present in
         the current neighbor set — the paper's intermediate-quality
         measure.  ``-1`` when no ground truth was supplied.
+    skipped:
+        True when the chunk was *abandoned* under degraded execution:
+        its read attempts all failed, time was charged, but none of its
+        ``n_descriptors`` descriptors were scanned.
+    fault:
+        Fault kind that touched this chunk access (``"none"`` for clean
+        reads; see :mod:`repro.faults.plan` for the taxonomy).
+    retries:
+        Read attempts beyond the first (0 for clean reads).
     """
 
     chunk_id: int
@@ -49,6 +58,9 @@ class TraceEvent:
     neighbors_found: int
     kth_distance: float
     true_matches: int = -1
+    skipped: bool = False
+    fault: str = "none"
+    retries: int = 0
 
 
 @dataclasses.dataclass
@@ -116,8 +128,36 @@ class SearchTrace:
 
     @property
     def chunks_read(self) -> int:
-        return len(self.events)
+        """Chunks whose descriptors were actually scanned (skips excluded)."""
+        return sum(1 for e in self.events if not e.skipped)
+
+    @property
+    def chunks_skipped(self) -> int:
+        """Chunks abandoned after exhausting read retries."""
+        return sum(1 for e in self.events if e.skipped)
 
     @property
     def descriptors_scanned(self) -> int:
-        return int(sum(e.n_descriptors for e in self.events))
+        return int(sum(e.n_descriptors for e in self.events if not e.skipped))
+
+    @property
+    def descriptors_skipped(self) -> int:
+        """Descriptors lost to skipped chunks (never scanned)."""
+        return int(sum(e.n_descriptors for e in self.events if e.skipped))
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of *visited* descriptors actually scanned.
+
+        1.0 for a clean run; below 1.0 the search result can silently
+        miss true neighbors that lived in the skipped chunks, which is
+        why a degraded search never claims exact completion.
+        """
+        scanned = self.descriptors_scanned
+        total = scanned + self.descriptors_skipped
+        return scanned / total if total else 1.0
+
+    @property
+    def total_retries(self) -> int:
+        """Read attempts beyond the first, summed over all chunk accesses."""
+        return int(sum(e.retries for e in self.events))

@@ -1,0 +1,174 @@
+"""Fault injection wrappers around the storage readers and the disk model.
+
+Two injection surfaces, matching the two layers at which a production
+search system meets broken storage:
+
+* :class:`FaultInjector` — the *search-level* surface.  It binds a
+  :class:`~repro.faults.plan.FaultPlan` to a
+  :class:`~repro.simio.disk_model.DiskModel` so that each decision also
+  carries its simulated time charge (failed attempts pay the chunk's
+  uncached random-read cost; spikes pay ``spike_s``; backoff delays come
+  from the plan).  The searchers consult it per ``(query, chunk)`` and
+  the injected latency flows through the per-query
+  :class:`~repro.simio.pipeline.PipelineSimulator` timeline.
+
+* :class:`FaultyFile` — the *storage-level* surface.  A read-only
+  file wrapper that damages raw bytes per disk page (bit flips,
+  truncations, injected I/O errors), deterministically from the same
+  plan.  Wrapping a real chunk file with it exercises the on-disk
+  checksum path end to end: flipped bits must surface as
+  :class:`~repro.storage.errors.ChecksumError`, not as silently wrong
+  neighbors.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, Dict
+
+from ..simio.disk_model import DiskModel
+from ..simio.pipeline import CostModel
+from ..storage.errors import CorruptFileError
+from ..storage.pages import DEFAULT_PAGE_BYTES
+from .plan import (
+    FAULT_CORRUPT,
+    FAULT_READ_ERROR,
+    FAULT_TRUNCATE,
+    ChunkFaultOutcome,
+    FaultPlan,
+)
+
+__all__ = ["FaultInjector", "FaultyFile", "InjectedFaultError"]
+
+
+class InjectedFaultError(CorruptFileError):
+    """A fault injected by a :class:`FaultyFile` read.
+
+    Subclasses :class:`~repro.storage.errors.CorruptFileError` so the
+    degraded-execution retry/skip policy treats injected and real
+    storage failures identically.
+    """
+
+
+class FaultInjector:
+    """Per-(query, chunk) fault decisions with simulated time charges.
+
+    Parameters
+    ----------
+    plan:
+        The seeded fault plan.
+    disk:
+        Disk model used to price failed read attempts (one uncached
+        random read of the chunk's pages per attempt).
+    """
+
+    def __init__(self, plan: FaultPlan, disk: DiskModel):
+        self.plan = plan
+        self.disk = disk
+        self._attempt_io_memo: Dict[int, float] = {}
+
+    @classmethod
+    def from_cost_model(cls, plan: FaultPlan, cost_model: CostModel) -> "FaultInjector":
+        """Bind a plan to the disk of an existing cost model, so attempt
+        charges use exactly the searcher's price per chunk read."""
+        return cls(plan, cost_model.disk)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything."""
+        return self.plan.is_null
+
+    def attempt_io_s(self, page_count: int) -> float:
+        """Simulated cost of one failed read attempt of ``page_count``
+        pages (memoised; always the uncached random-read price)."""
+        cached = self._attempt_io_memo.get(page_count)
+        if cached is None:
+            cached = self.disk.random_read_time_s(page_count)
+            self._attempt_io_memo[page_count] = cached
+        return cached
+
+    def outcome(
+        self,
+        query_id: int,
+        chunk_id: int,
+        page_count: int,
+        readable: bool = True,
+    ) -> ChunkFaultOutcome:
+        """Resolve one ``(query, chunk)`` access; see
+        :meth:`~repro.faults.plan.FaultPlan.chunk_outcome`."""
+        return self.plan.chunk_outcome(
+            query_id, chunk_id, self.attempt_io_s(page_count), readable=readable
+        )
+
+
+class FaultyFile:
+    """Read-only binary-file wrapper injecting byte-level damage.
+
+    Every read is resolved page by page against the plan's per-page
+    draws: a ``read-error`` page raises :class:`InjectedFaultError`, a
+    ``corrupt`` page gets one deterministic bit flipped, a ``truncate``
+    page cuts the stream short at a deterministic offset.  Decisions are
+    keyed by absolute page number only, so the same file position always
+    fails the same way — a persistent-media model, as a real bad sector
+    behaves.
+
+    Intended use: ``ChunkFileReader(FaultyFile(open(path, "rb"), plan),
+    dims)`` in tests and fault drills; the reader's checksum layer must
+    convert silent bit flips into typed errors.
+    """
+
+    def __init__(
+        self,
+        raw: BinaryIO,
+        plan: FaultPlan,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ):
+        if page_bytes <= 0:
+            raise ValueError("page size must be positive")
+        self._raw = raw
+        self._plan = plan
+        self._page_bytes = int(page_bytes)
+
+    # -- BinaryIO surface (the subset the readers use) -----------------------
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._raw.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._raw.tell()
+
+    def read(self, n: int = -1) -> bytes:
+        start = self._raw.tell()
+        data = self._raw.read(n)
+        if not data:
+            return data
+        out = bytearray(data)
+        first_page = start // self._page_bytes
+        last_page = (start + len(out) - 1) // self._page_bytes
+        for page in range(first_page, last_page + 1):
+            kind, detail = self._plan.page_fault(page)
+            page_start = max(0, page * self._page_bytes - start)
+            if kind == FAULT_READ_ERROR:
+                raise InjectedFaultError(
+                    f"injected read error at page {page} "
+                    f"(byte offset {page * self._page_bytes})"
+                )
+            if kind == FAULT_CORRUPT:
+                span = min(len(out) - page_start, self._page_bytes)
+                bit = detail % (span * 8)
+                out[page_start + bit // 8] ^= 1 << (bit % 8)
+            elif kind == FAULT_TRUNCATE:
+                span = min(len(out) - page_start, self._page_bytes)
+                cut = page_start + (detail % max(span, 1))
+                del out[cut:]
+                return bytes(out)
+        return bytes(out)
+
+    def close(self) -> None:
+        self._raw.close()
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

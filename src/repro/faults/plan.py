@@ -1,0 +1,327 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a *pure function* from ``(query_id, chunk_id,
+attempt)`` to a fault decision, derived from an explicit seed via
+:class:`numpy.random.SeedSequence`.  Nothing here depends on call order,
+wall-clock time, or process state, which is what makes fault-injection
+runs reproducible to the bit: the sequential searcher, the chunk-major
+batch engine, and a re-run tomorrow all see exactly the same faults for
+the same ``(seed, query, chunk)`` triple.
+
+Fault taxonomy (mirroring what real chunk storage exhibits):
+
+* ``read-error`` — a transient I/O failure; a retry re-draws and usually
+  succeeds (the per-attempt decision is independent).
+* ``corrupt`` / ``truncate`` — persistent media damage; once drawn for a
+  ``(query, chunk)`` the chunk stays unreadable for every retry.
+* ``latency-spike`` — the read succeeds but costs ``spike_s`` extra
+  simulated seconds (the tail-latency case of Tavenard et al.: a slow
+  chunk, like a broken one, must cost bounded time).
+
+Timing semantics (what degraded execution charges to the simulated
+clock) are encoded in :meth:`FaultPlan.chunk_outcome`: every failed
+attempt pays the chunk's read cost plus an exponential backoff delay;
+a successful retry pays the preceding failures plus the normal read; a
+skipped chunk pays all ``max_retries + 1`` failed reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_NONE",
+    "FAULT_SPIKE",
+    "FAULT_READ_ERROR",
+    "FAULT_CORRUPT",
+    "FAULT_TRUNCATE",
+    "FAILURE_KINDS",
+    "ChunkFaultOutcome",
+    "OK_OUTCOME",
+    "FaultPlan",
+]
+
+#: No fault: the read behaves normally.
+FAULT_NONE = "none"
+#: The read succeeds but takes ``spike_s`` extra simulated seconds.
+FAULT_SPIKE = "latency-spike"
+#: Transient read failure; retries re-draw independently.
+FAULT_READ_ERROR = "read-error"
+#: Persistent payload corruption (as a CRC check would detect).
+FAULT_CORRUPT = "corrupt"
+#: Persistent mid-chunk truncation.
+FAULT_TRUNCATE = "truncate"
+
+#: Kinds that make an attempt fail (spikes slow a read, they do not fail it).
+FAILURE_KINDS = (FAULT_READ_ERROR, FAULT_CORRUPT, FAULT_TRUNCATE)
+
+#: Persistent kinds: drawn once, they fail every subsequent attempt.
+_PERSISTENT_KINDS = (FAULT_CORRUPT, FAULT_TRUNCATE)
+
+#: Stream tags keeping the per-(query, chunk) draws and the per-page byte
+#: draws (see :class:`~repro.faults.injector.FaultyFile`) independent.
+_STREAM_CHUNK = 0
+_STREAM_PAGE = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkFaultOutcome:
+    """Resolved fault behaviour of one ``(query, chunk)`` access.
+
+    Attributes
+    ----------
+    ok:
+        True when some attempt succeeded and the chunk's contents are
+        usable; False means the chunk must be skipped.
+    kind:
+        The dominating fault kind (the first failure drawn, or
+        ``latency-spike``/``none`` for clean reads).
+    attempts:
+        Total read attempts consumed (``1`` for a clean first read, up
+        to ``max_retries + 1``).
+    extra_io_s:
+        Simulated seconds to charge *in addition to* the normal read on
+        success (failed attempts, backoff delays, spike latency); on a
+        skip this is the *total* I/O charge (the normal read never
+        completed).
+    spiked:
+        True when the successful attempt carried a latency spike.
+    """
+
+    ok: bool
+    kind: str
+    attempts: int
+    extra_io_s: float
+    spiked: bool
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first."""
+        return self.attempts - 1
+
+    @property
+    def faulted(self) -> bool:
+        """True when any fault (failure or spike) touched this access."""
+        return self.kind != FAULT_NONE
+
+
+#: The clean outcome shared by every un-faulted access (also the fast
+#: path for null plans, keeping zero-rate runs bit-identical and cheap).
+OK_OUTCOME = ChunkFaultOutcome(
+    ok=True, kind=FAULT_NONE, attempts=1, extra_io_s=0.0, spiked=False
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, rate-parameterised fault model.
+
+    Parameters
+    ----------
+    seed:
+        Non-negative root seed; together with ``(query_id, chunk_id)``
+        it fully determines every decision.
+    read_error_rate, corrupt_rate, truncate_rate:
+        Per-(query, chunk) probabilities of each failure kind.
+    spike_rate:
+        Probability that an otherwise-clean read carries a latency spike.
+    spike_s:
+        Extra simulated seconds charged by one spike.
+    max_retries:
+        Failed attempts are retried up to this many times before the
+        chunk is skipped.
+    backoff_s, backoff_multiplier:
+        Exponential backoff: the delay charged before retry ``r``
+        (0-based) is ``backoff_s * backoff_multiplier ** r``.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_s: float = 0.050
+    max_retries: int = 2
+    backoff_s: float = 0.010
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        rates = (
+            self.read_error_rate,
+            self.corrupt_rate,
+            self.truncate_rate,
+            self.spike_rate,
+        )
+        if any(r < 0.0 or r > 1.0 or r != r for r in rates):
+            raise ValueError(f"fault rates must lie in [0, 1], got {rates}")
+        if self.failure_rate + self.spike_rate > 1.0 + 1e-12:
+            raise ValueError(
+                "failure rates plus spike rate must not exceed 1 "
+                f"(got {self.failure_rate + self.spike_rate:g})"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.spike_s < 0.0 or self.backoff_s < 0.0:
+            raise ValueError("delays cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be at least 1")
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def failure_rate(self) -> float:
+        """Total probability that a single attempt fails."""
+        return self.read_error_rate + self.corrupt_rate + self.truncate_rate
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything."""
+        return self.failure_rate == 0.0 and self.spike_rate == 0.0
+
+    @classmethod
+    def balanced(cls, rate: float, seed: int, **overrides: Any) -> "FaultPlan":
+        """A plan splitting ``rate`` evenly across the three failure
+        kinds, with spikes occurring at the same ``rate``.
+
+        This is the single-knob configuration the ``faultsim`` sweep
+        uses for its quality-vs-fault-rate curves.
+        """
+        if rate < 0.0 or rate > 0.5:
+            raise ValueError(
+                f"balanced rate must lie in [0, 0.5], got {rate!r} "
+                "(failures and spikes each occur at this rate)"
+            )
+        return cls(
+            seed=seed,
+            read_error_rate=rate / 3.0,
+            corrupt_rate=rate / 3.0,
+            truncate_rate=rate / 3.0,
+            spike_rate=rate,
+            **overrides,
+        )
+
+    # -- deterministic draws -------------------------------------------------
+
+    def uniforms(self, stream: int, a: int, b: int, n: int) -> np.ndarray:
+        """``n`` uniforms in [0, 1) (float64) for one keyed decision site.
+
+        The key is ``(seed, stream, a, b)``; results are independent of
+        call order and of every other key — the property that lets the
+        chunk-major batch engine reproduce the sequential searcher's
+        faults exactly.
+        """
+        ss = np.random.SeedSequence(entropy=(self.seed, stream, a, b))
+        words = ss.generate_state(n, dtype=np.uint64)
+        return np.asarray(words, dtype=np.float64) * 2.0**-64
+
+    def _classify(self, u: float) -> str:
+        edge = self.read_error_rate
+        if u < edge:
+            return FAULT_READ_ERROR
+        edge += self.corrupt_rate
+        if u < edge:
+            return FAULT_CORRUPT
+        edge += self.truncate_rate
+        if u < edge:
+            return FAULT_TRUNCATE
+        edge += self.spike_rate
+        if u < edge:
+            return FAULT_SPIKE
+        return FAULT_NONE
+
+    def page_fault(self, page: int) -> Tuple[str, int]:
+        """Byte-level decision for one disk page: ``(kind, detail)``.
+
+        ``detail`` is a deterministic auxiliary draw (bit position for
+        ``corrupt``, cut fraction in 1/65536ths for ``truncate``; 0
+        otherwise).  Used by the storage-level
+        :class:`~repro.faults.injector.FaultyFile` wrapper.
+        """
+        us = self.uniforms(_STREAM_PAGE, int(page), 0, 2)
+        kind = self._classify(float(us[0]))
+        detail = int(us[1] * 65536.0)
+        return kind, detail
+
+    def backoff_delay_s(self, retry_index: int) -> float:
+        """Backoff charged before 0-based retry ``retry_index``."""
+        if retry_index < 0:
+            raise ValueError("retry index cannot be negative")
+        return self.backoff_s * self.backoff_multiplier**retry_index
+
+    # -- the degraded-execution contract -------------------------------------
+
+    def chunk_outcome(
+        self,
+        query_id: int,
+        chunk_id: int,
+        attempt_io_s: float,
+        readable: bool = True,
+    ) -> ChunkFaultOutcome:
+        """Resolve the fault behaviour of one ``(query, chunk)`` access.
+
+        Parameters
+        ----------
+        query_id, chunk_id:
+            The decision key (must be non-negative).
+        attempt_io_s:
+            Simulated cost of one (uncached) read attempt of this chunk
+            — failed attempts are charged at this rate.
+        readable:
+            Pass False when a *real* read of the chunk already failed
+            (e.g. an actual :class:`~repro.storage.errors.CorruptFileError`):
+            real damage is treated as persistent, so every attempt fails
+            and the chunk is skipped with all retries charged.
+        """
+        if attempt_io_s < 0.0:
+            raise ValueError("attempt cost cannot be negative")
+        budget = self.max_retries + 1
+        if not readable:
+            extra = budget * attempt_io_s
+            for retry in range(budget - 1):
+                extra += self.backoff_delay_s(retry)
+            return ChunkFaultOutcome(
+                ok=False,
+                kind=FAULT_CORRUPT,
+                attempts=budget,
+                extra_io_s=extra,
+                spiked=False,
+            )
+        if self.is_null:
+            return OK_OUTCOME
+        us = self.uniforms(_STREAM_CHUNK, int(query_id), int(chunk_id), budget)
+        extra = 0.0
+        kind = FAULT_NONE
+        persistent = False
+        for attempt in range(budget):
+            drawn = kind if persistent else self._classify(float(us[attempt]))
+            if drawn in _PERSISTENT_KINDS:
+                persistent = True
+            if kind == FAULT_NONE and drawn in FAILURE_KINDS:
+                kind = drawn
+            if persistent or drawn == FAULT_READ_ERROR:
+                # Failed attempt: the read is paid in full, plus a
+                # backoff delay when a retry follows.
+                extra += attempt_io_s
+                if attempt < budget - 1:
+                    extra += self.backoff_delay_s(attempt)
+                continue
+            spiked = drawn == FAULT_SPIKE
+            if spiked:
+                extra += self.spike_s
+                if kind == FAULT_NONE:
+                    kind = FAULT_SPIKE
+            return ChunkFaultOutcome(
+                ok=True,
+                kind=kind,
+                attempts=attempt + 1,
+                extra_io_s=extra,
+                spiked=spiked,
+            )
+        return ChunkFaultOutcome(
+            ok=False, kind=kind, attempts=budget, extra_io_s=extra, spiked=False
+        )

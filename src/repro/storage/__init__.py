@@ -13,21 +13,32 @@ Two files make up a chunk index:
 :mod:`repro.storage.records` the paper's 100-byte descriptor record codec.
 """
 
-from .chunk_file import ChunkExtent, ChunkFileReader, ChunkFileWriter
+from .atomic import atomic_output
+from .chunk_file import (
+    CHUNK_MAGIC,
+    CHUNK_VERSION,
+    ChunkExtent,
+    ChunkFileReader,
+    ChunkFileWriter,
+)
 from .collection_file import (
     COLLECTION_MAGIC,
     read_collection_file,
     write_collection_file,
 )
-from .errors import MAX_DIMENSIONS, CorruptFileError
+from .errors import MAX_DIMENSIONS, ChecksumError, CorruptFileError
 from .index_file import index_file_bytes, read_index_file, write_index_file
 from .pages import DEFAULT_PAGE_BYTES, PageGeometry
 from .records import RecordCodec
 
 __all__ = [
     "ChunkExtent",
+    "CHUNK_MAGIC",
+    "CHUNK_VERSION",
+    "ChecksumError",
     "CorruptFileError",
     "MAX_DIMENSIONS",
+    "atomic_output",
     "COLLECTION_MAGIC",
     "read_collection_file",
     "write_collection_file",

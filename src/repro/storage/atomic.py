@@ -1,0 +1,39 @@
+"""Crash-safe file publication: write-temp, fsync, atomic rename.
+
+All on-disk formats in this package share the same durability contract:
+a writer must never leave a half-written file under the final name.  The
+:func:`atomic_output` context manager implements it once — bytes land in
+``<path>.tmp``; on clean exit the file is flushed, fsynced and renamed
+over the target with :func:`os.replace` (atomic on POSIX); on error the
+temporary is unlinked and any pre-existing file at the target survives
+untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import BinaryIO, Iterator, Union
+
+__all__ = ["atomic_output"]
+
+PathLike = Union[str, os.PathLike]
+
+
+@contextlib.contextmanager
+def atomic_output(path: PathLike) -> Iterator[BinaryIO]:
+    """Yield a binary stream that atomically replaces ``path`` on success."""
+    final_path = os.fspath(path)
+    tmp_path = final_path + ".tmp"
+    stream = open(tmp_path, "wb")
+    try:
+        yield stream
+        stream.flush()
+        os.fsync(stream.fileno())
+        stream.close()
+        os.replace(tmp_path, final_path)
+    except BaseException:
+        stream.close()
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(tmp_path)
+        raise

@@ -10,27 +10,78 @@ The writer streams chunks in order, returning the page extent of each so
 the caller can fill in :class:`~repro.core.chunk.ChunkMeta`.  The reader
 fetches one chunk's pages and decodes the records, exactly the access the
 search algorithm performs per ranked chunk.
+
+Format versions
+---------------
+*v1* (legacy): a headerless sequence of page-padded chunks.  Still fully
+readable; corruption inside a chunk's payload is *undetectable* in v1
+(only truncation is caught).
+
+*v2* (current): one header page, the same page-padded chunk sequence,
+then a CRC32 table::
+
+    page 0          : header  (magic "EFF2CHNK", version, dims,
+                               page_bytes, n_chunks, table_page)
+    pages 1..N      : chunk payloads, page-padded (extents stay *logical*
+                      — ``ChunkExtent.page_offset`` is relative to the
+                      data region, so v1 and v2 extents are identical and
+                      the simulated I/O charges do not change)
+    page table_page : CRC table (magic "EFF2CCRC", count, then one
+                      ``(page_offset, crc32)`` entry per chunk)
+
+The header is written with ``table_page = 0`` and patched on close, so a
+crash mid-write leaves a file the reader rejects as unfinalised instead
+of one that silently decodes garbage.  Writers that own their path write
+to ``<path>.tmp`` and publish with an atomic fsync + rename; an aborted
+or failed write never replaces an existing good file.
 """
 
 from __future__ import annotations
 
 import io
 import os
-from typing import BinaryIO, List, Optional, Tuple, Union
+import struct
+import zlib
+from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .errors import CorruptFileError
+from .errors import MAX_DIMENSIONS, ChecksumError, CorruptFileError
 from .pages import PageGeometry
 from .records import RecordCodec
 
-__all__ = ["ChunkFileWriter", "ChunkFileReader", "ChunkExtent"]
+__all__ = [
+    "ChunkFileWriter",
+    "ChunkFileReader",
+    "ChunkExtent",
+    "CHUNK_MAGIC",
+    "CHUNK_VERSION",
+]
 
 PathOrFile = Union[str, os.PathLike, BinaryIO]
 
+CHUNK_MAGIC = b"EFF2CHNK"
+TABLE_MAGIC = b"EFF2CCRC"
+#: Current chunk-file format version (v1 is the legacy headerless form).
+CHUNK_VERSION = 2
+
+#: Header: magic, version, dims, page_bytes, reserved, n_chunks, table_page.
+_HEADER = struct.Struct("<8sIIIIQQ")
+#: CRC table header: magic, entry count.
+_TABLE_HEADER = struct.Struct("<8sQ")
+#: CRC table entry: logical page offset, CRC32 of the chunk payload.
+_TABLE_ENTRY = struct.Struct("<QI")
+#: Reject headers whose implied table exceeds this (1 TiB) — guards
+#: against corrupted ``n_chunks`` fields triggering huge reads.
+_MAX_PAYLOAD_BYTES = 1 << 40
+
 
 class ChunkExtent(Tuple[int, int, int]):
-    """``(page_offset, page_count, n_descriptors)`` for one written chunk."""
+    """``(page_offset, page_count, n_descriptors)`` for one written chunk.
+
+    Page offsets are *logical* (relative to the start of the data
+    region), identical across format versions.
+    """
 
     __slots__ = ()
 
@@ -51,66 +102,175 @@ class ChunkExtent(Tuple[int, int, int]):
 
 
 class ChunkFileWriter:
-    """Sequentially writes chunks, padding each to a page boundary."""
+    """Sequentially writes chunks, padding each to a page boundary.
+
+    Writing to a path is crash-safe: bytes land in ``<path>.tmp`` and the
+    final name appears only after a flush + fsync + atomic rename in
+    :meth:`close`.  A writer whose previous write raised is *poisoned* —
+    further ``write_chunk`` calls are rejected and closing discards the
+    temporary file — so a partially written chunk file can never
+    masquerade as a complete one.
+    """
 
     def __init__(
         self,
         target: PathOrFile,
         dimensions: int,
         geometry: Optional[PageGeometry] = None,
+        version: int = CHUNK_VERSION,
     ):
+        if version not in (1, CHUNK_VERSION):
+            raise ValueError(f"unsupported chunk file version {version}")
         self._geometry = geometry or PageGeometry()
         self._codec = RecordCodec(dimensions)
+        self._version = version
         self._owns_file = isinstance(target, (str, os.PathLike))
-        self._file: BinaryIO = (
-            open(target, "wb") if self._owns_file else target  # type: ignore[arg-type]
-        )
+        if self._owns_file:
+            self._final_path = os.fspath(target)  # type: ignore[arg-type]
+            self._tmp_path: Optional[str] = self._final_path + ".tmp"
+            self._file: BinaryIO = open(self._tmp_path, "wb")
+        else:
+            self._final_path = ""
+            self._tmp_path = None
+            self._file = target  # type: ignore[assignment]
+        self._base = 0 if self._owns_file else self._file.tell()
         self._next_page = 0
         self._closed = False
+        self._failed = False
+        self._crcs: List[Tuple[int, int]] = []
         self.extents: List[ChunkExtent] = []
+        if self._version >= 2:
+            try:
+                self._write_header(n_chunks=0, table_page=0)
+            except Exception:
+                self._failed = True
+                self.close()
+                raise
 
     @property
     def geometry(self) -> PageGeometry:
         return self._geometry
 
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def _write_header(self, n_chunks: int, table_page: int) -> None:
+        header = _HEADER.pack(
+            CHUNK_MAGIC,
+            self._version,
+            self._codec.dimensions,
+            self._geometry.page_bytes,
+            0,
+            n_chunks,
+            table_page,
+        )
+        self._file.write(header)
+        self._file.write(b"\x00" * (self._geometry.page_bytes - len(header)))
+
+    @property
+    def _data_start_page(self) -> int:
+        """Physical page where the data region begins (0 in v1, 1 in v2)."""
+        return 0 if self._version == 1 else 1
+
     def write_chunk(self, ids: np.ndarray, vectors: np.ndarray) -> ChunkExtent:
-        """Append one chunk; returns its page extent in the file."""
+        """Append one chunk; returns its (logical) page extent."""
         if self._closed:
             raise ValueError("writer is closed")
-        payload = self._codec.encode(ids, vectors)
-        padding = self._geometry.padding_for(len(payload))
-        self._file.write(payload)
-        if padding:
-            self._file.write(b"\x00" * padding)
+        if self._failed:
+            raise ValueError(
+                "writer is poisoned: a previous write failed, the file is "
+                "incomplete and will be discarded on close"
+            )
+        try:
+            payload = self._codec.encode(ids, vectors)
+            padding = self._geometry.padding_for(len(payload))
+            self._file.write(payload)
+            if padding:
+                self._file.write(b"\x00" * padding)
+        except Exception:
+            self._failed = True
+            raise
         pages = self._geometry.pages_for(len(payload))
         extent = ChunkExtent(self._next_page, pages, int(np.asarray(ids).shape[0]))
+        if self._version >= 2:
+            self._crcs.append((self._next_page, zlib.crc32(payload)))
         self._next_page += pages
         self.extents.append(extent)
         return extent
 
+    def _write_table(self) -> int:
+        """Append the CRC table; returns its physical page number."""
+        table_page = self._data_start_page + self._next_page
+        self._file.write(_TABLE_HEADER.pack(TABLE_MAGIC, len(self._crcs)))
+        for page_offset, crc in self._crcs:
+            self._file.write(_TABLE_ENTRY.pack(page_offset, crc))
+        return table_page
+
+    def _discard(self) -> None:
+        """Close and remove the temporary file after a failure."""
+        try:
+            if self._owns_file:
+                self._file.close()
+        finally:
+            if self._tmp_path is not None and os.path.exists(self._tmp_path):
+                os.unlink(self._tmp_path)
+
     def close(self) -> None:
+        """Finalise the file (CRC table + header patch), fsync owned
+        files, and atomically publish path targets.
+
+        A poisoned writer (or one whose ``with`` block raised) discards
+        its temporary file instead: the target path is left untouched.
+        """
         if self._closed:
             return
-        self._file.flush()
-        if self._owns_file:
-            self._file.close()
         self._closed = True
+        if self._failed:
+            self._discard()
+            return
+        try:
+            if self._version >= 2:
+                table_page = self._write_table()
+                self._file.seek(self._base)
+                self._write_header(len(self._crcs), table_page)
+            self._file.flush()
+            if self._owns_file:
+                os.fsync(self._file.fileno())
+                self._file.close()
+                assert self._tmp_path is not None
+                os.replace(self._tmp_path, self._final_path)
+        except Exception:
+            self._failed = True
+            self._discard()
+            raise
 
     def __enter__(self) -> "ChunkFileWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is not None:
+            # The with-block failed: never publish a partial file.
+            self._failed = True
         self.close()
 
 
 class ChunkFileReader:
-    """Random-access reads of whole chunks from a chunk file."""
+    """Random-access reads of whole chunks from a chunk file.
+
+    The format version is auto-detected from the leading magic; v1
+    (headerless) files remain readable but carry no checksums, so only
+    truncation is detectable there.  For v2 files every chunk payload is
+    verified against its stored CRC32 (disable with
+    ``verify_checksums=False`` to measure raw read cost).
+    """
 
     def __init__(
         self,
         source: PathOrFile,
         dimensions: int,
         geometry: Optional[PageGeometry] = None,
+        verify_checksums: bool = True,
     ):
         self._geometry = geometry or PageGeometry()
         self._codec = RecordCodec(dimensions)
@@ -118,19 +278,108 @@ class ChunkFileReader:
         self._file: BinaryIO = (
             open(source, "rb") if self._owns_file else source  # type: ignore[arg-type]
         )
+        self.verify_checksums = bool(verify_checksums)
+        self._crcs: Optional[Dict[int, int]] = None
+        try:
+            self._base = self._file.tell()
+            self._version = self._detect_version()
+        except Exception:
+            self.close()
+            raise
+
+    def _detect_version(self) -> int:
+        lead = self._file.read(len(CHUNK_MAGIC))
+        if lead != CHUNK_MAGIC:
+            # Legacy headerless file: data starts at the base offset.
+            self._file.seek(self._base)
+            self._data_start_page = 0
+            return 1
+        rest = self._file.read(_HEADER.size - len(CHUNK_MAGIC))
+        if len(rest) != _HEADER.size - len(CHUNK_MAGIC):
+            raise CorruptFileError("chunk file too short for its header")
+        _, version, dims, page_bytes, _, n_chunks, table_page = _HEADER.unpack(
+            CHUNK_MAGIC + rest
+        )
+        if version != CHUNK_VERSION:
+            raise CorruptFileError(f"unsupported chunk file version {version}")
+        if not 1 <= dims <= MAX_DIMENSIONS:
+            raise CorruptFileError(
+                f"chunk file header has implausible dimensions {dims} "
+                f"(expected 1..{MAX_DIMENSIONS})"
+            )
+        if dims != self._codec.dimensions:
+            raise CorruptFileError(
+                f"chunk file holds {dims}-d records, reader expects "
+                f"{self._codec.dimensions}-d"
+            )
+        if page_bytes != self._geometry.page_bytes:
+            raise CorruptFileError(
+                f"chunk file was written with {page_bytes}-byte pages, "
+                f"reader geometry uses {self._geometry.page_bytes}"
+            )
+        if table_page == 0:
+            raise CorruptFileError(
+                "chunk file was not finalized (missing checksum table); "
+                "the writer likely crashed mid-write"
+            )
+        if n_chunks * _TABLE_ENTRY.size > _MAX_PAYLOAD_BYTES:
+            raise CorruptFileError(
+                f"chunk file header implies implausible size (n_chunks={n_chunks})"
+            )
+        self._data_start_page = 1
+        self._load_crc_table(int(table_page), int(n_chunks))
+        return CHUNK_VERSION
+
+    def _load_crc_table(self, table_page: int, n_chunks: int) -> None:
+        self._file.seek(self._base + self._geometry.byte_offset(table_page))
+        raw = self._file.read(_TABLE_HEADER.size)
+        if len(raw) != _TABLE_HEADER.size:
+            raise CorruptFileError("chunk file checksum table truncated")
+        magic, count = _TABLE_HEADER.unpack(raw)
+        if magic != TABLE_MAGIC:
+            raise CorruptFileError(
+                f"bad chunk file checksum table magic {magic!r}"
+            )
+        if count != n_chunks:
+            raise CorruptFileError(
+                f"chunk file header claims {n_chunks} chunks but the "
+                f"checksum table holds {count}"
+            )
+        raw = self._file.read(count * _TABLE_ENTRY.size)
+        if len(raw) != count * _TABLE_ENTRY.size:
+            raise CorruptFileError("chunk file checksum table truncated")
+        crcs: Dict[int, int] = {}
+        for i in range(count):
+            page_offset, crc = _TABLE_ENTRY.unpack_from(raw, i * _TABLE_ENTRY.size)
+            crcs[page_offset] = crc
+        self._crcs = crcs
 
     @property
     def geometry(self) -> PageGeometry:
         return self._geometry
+
+    @property
+    def version(self) -> int:
+        """Detected format version (1 legacy, 2 checksummed)."""
+        return self._version
+
+    @property
+    def has_checksums(self) -> bool:
+        """True when the file carries a per-chunk CRC32 table (v2)."""
+        return self._crcs is not None
 
     def read_chunk(self, extent: ChunkExtent) -> Tuple[np.ndarray, np.ndarray]:
         """Read one chunk's pages; returns ``(ids, vectors)``.
 
         Only the leading ``n_descriptors`` records are decoded — the page
         padding is read (it is transferred from disk either way) but
-        discarded.
+        discarded.  On checksummed files the payload is verified first;
+        a mismatch raises :class:`~repro.storage.errors.ChecksumError`.
         """
-        self._file.seek(self._geometry.byte_offset(extent.page_offset))
+        self._file.seek(
+            self._base
+            + self._geometry.byte_offset(self._data_start_page + extent.page_offset)
+        )
         raw = self._file.read(extent.page_count * self._geometry.page_bytes)
         needed = extent.n_descriptors * self._codec.record_bytes
         if len(raw) < needed:
@@ -138,7 +387,20 @@ class ChunkFileReader:
                 f"chunk file truncated: wanted {needed} bytes at page "
                 f"{extent.page_offset}, got {len(raw)}"
             )
-        return self._codec.decode(raw[:needed])
+        payload = raw[:needed]
+        if self._crcs is not None and self.verify_checksums:
+            stored = self._crcs.get(extent.page_offset)
+            if stored is None:
+                raise CorruptFileError(
+                    f"no checksum entry for chunk at page {extent.page_offset}"
+                )
+            actual = zlib.crc32(payload)
+            if actual != stored:
+                raise ChecksumError(
+                    f"chunk at page {extent.page_offset} failed its CRC32 "
+                    f"check (stored {stored:#010x}, computed {actual:#010x})"
+                )
+        return self._codec.decode(payload)
 
     def close(self) -> None:
         if self._owns_file:

@@ -25,6 +25,7 @@ from typing import BinaryIO, Union
 import numpy as np
 
 from ..core.dataset import DescriptorCollection
+from .atomic import atomic_output
 from .errors import MAX_DIMENSIONS, CorruptFileError
 from .records import RecordCodec
 
@@ -46,18 +47,22 @@ def write_collection_file(target: PathOrFile, collection: DescriptorCollection) 
     header = _HEADER.pack(
         COLLECTION_MAGIC, _VERSION, collection.dimensions, len(collection)
     )
-    owns = isinstance(target, (str, os.PathLike))
-    stream: BinaryIO = open(target, "wb") if owns else target  # type: ignore[arg-type]
-    try:
-        stream.write(header)
-        stream.write(codec.encode(collection.ids, collection.vectors))
-        stream.write(
+    if isinstance(target, (str, os.PathLike)):
+        # Path target: publish atomically (write-temp, fsync, rename) so
+        # a crash mid-write never leaves a truncated collection behind.
+        with atomic_output(target) as stream:
+            stream.write(header)
+            stream.write(codec.encode(collection.ids, collection.vectors))
+            stream.write(
+                np.ascontiguousarray(collection.image_ids, dtype="<i8").tobytes()
+            )
+    else:
+        target.write(header)
+        target.write(codec.encode(collection.ids, collection.vectors))
+        target.write(
             np.ascontiguousarray(collection.image_ids, dtype="<i8").tobytes()
         )
-        stream.flush()
-    finally:
-        if owns:
-            stream.close()
+        target.flush()
 
 
 def read_collection_file(source: PathOrFile) -> DescriptorCollection:

@@ -9,7 +9,7 @@ retry the read.
 
 from __future__ import annotations
 
-__all__ = ["CorruptFileError", "MAX_DIMENSIONS"]
+__all__ = ["CorruptFileError", "ChecksumError", "MAX_DIMENSIONS"]
 
 #: Upper bound accepted for the ``dims`` header field of any on-disk
 #: format.  The paper's descriptors are 24-d; anything above this is a
@@ -26,4 +26,16 @@ class CorruptFileError(IOError):
     Raised for bad magic, unsupported versions, implausible header
     fields (negative/overflowing counts or dimensions) and truncated
     payloads in the collection, index and chunk files.
+    """
+
+
+class ChecksumError(CorruptFileError):
+    """A payload's stored CRC32 did not match its contents.
+
+    The distinguishing failure mode: the file *structure* is intact (the
+    header parsed, the bytes were all there) but the data itself was
+    silently altered — a flipped bit, a torn write.  Kept separate from
+    plain :class:`CorruptFileError` so fault drills can assert that
+    byte-level damage is caught by the checksum layer specifically, not
+    by a lucky decode failure downstream.
     """

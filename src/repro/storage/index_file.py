@@ -33,6 +33,7 @@ from typing import BinaryIO, List, Sequence, Union
 import numpy as np
 
 from ..core.chunk import ChunkMeta
+from .atomic import atomic_output
 from .errors import MAX_DIMENSIONS, CorruptFileError
 
 __all__ = ["write_index_file", "read_index_file", "index_file_bytes", "MAGIC"]
@@ -86,15 +87,16 @@ def write_index_file(target: PathOrFile, metas: Sequence[ChunkMeta]) -> None:
         entries[i]["n_descriptors"] = meta.n_descriptors
 
     header = _HEADER.pack(MAGIC, VERSION, dimensions, len(metas), b"\x00" * 8)
-    owns = isinstance(target, (str, os.PathLike))
-    stream: BinaryIO = open(target, "wb") if owns else target  # type: ignore[arg-type]
-    try:
-        stream.write(header)
-        stream.write(entries.tobytes())
-        stream.flush()
-    finally:
-        if owns:
-            stream.close()
+    if isinstance(target, (str, os.PathLike)):
+        # Path target: publish atomically (write-temp, fsync, rename) so
+        # a crash mid-write never leaves a truncated index behind.
+        with atomic_output(target) as stream:
+            stream.write(header)
+            stream.write(entries.tobytes())
+    else:
+        target.write(header)
+        target.write(entries.tobytes())
+        target.flush()
 
 
 def read_index_file(source: PathOrFile) -> List[ChunkMeta]:

@@ -1,0 +1,334 @@
+"""Degraded execution: searches must survive injected and real storage
+faults with the loss quantified in the trace.
+
+Contracts under test (the ISSUE's acceptance gates):
+
+* a zero-rate injector is *bit-identical* to running without one — ids,
+  stop reasons, and every simulated timestamp — for both the sequential
+  and the batch engine, over SR-tree and BAG indexes;
+* at positive fault rates no query raises, every abandoned chunk appears
+  in the trace as a skip, and exactness claims are withdrawn
+  (``degraded`` implies ``not completed``);
+* the batch engine reproduces the sequential engine's faulted outcomes
+  exactly, at any worker count;
+* real on-disk corruption (a flipped bit caught by the CRC layer) is
+  skipped-and-continued when an injector is present, and propagates
+  when not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chunking.bag import BagClusterer, estimate_mpi
+from repro.chunking.srtree_chunker import SRTreeChunker
+from repro.core.batch_search import BatchChunkSearcher
+from repro.core.chunk_index import CHUNK_FILE_NAME, ChunkIndex, build_chunk_index
+from repro.core.search import ChunkSearcher
+from repro.core.stop_rules import MaxChunks
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_NONE, FaultPlan
+from repro.simio.calibration import PAPER_2005_COST_MODEL
+from repro.storage.errors import ChecksumError
+from repro.storage.pages import PageGeometry
+
+CHUNKER_FACTORIES = {
+    "srtree": lambda collection: SRTreeChunker(leaf_capacity=7),
+    "bag": lambda collection: BagClusterer(
+        mpi=estimate_mpi(collection, sample_size=50, seed=3),
+        target_clusters=5,
+    ),
+}
+
+
+def make_index(collection, chunker_name):
+    chunker = CHUNKER_FACTORIES[chunker_name](collection)
+    result = chunker.form_chunks(collection)
+    return build_chunk_index(result.retained, result.chunk_set)
+
+
+def make_queries(n, dims, seed=97):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, dims)) * 4.0
+
+
+def injector(rate, seed=42, **overrides):
+    plan = FaultPlan.balanced(rate, seed=seed, **overrides)
+    return FaultInjector.from_cost_model(plan, PAPER_2005_COST_MODEL)
+
+
+def assert_results_identical(got, want):
+    """Every observable equal to the bit — no tolerances anywhere."""
+    np.testing.assert_array_equal(got.neighbor_ids(), want.neighbor_ids())
+    assert [n.distance for n in got.neighbors] == [
+        n.distance for n in want.neighbors
+    ]
+    assert got.stop_reason == want.stop_reason
+    assert got.completed == want.completed
+    assert got.degraded == want.degraded
+    assert got.elapsed_s == want.elapsed_s
+    assert got.trace.start_elapsed_s == want.trace.start_elapsed_s
+    assert got.trace.events == want.trace.events
+
+
+def assert_results_equivalent(got, want):
+    """Cross-engine comparison: exact except kth_distance (the batch
+    engine's one-time float64 promotion differs in the last ulp)."""
+    np.testing.assert_array_equal(got.neighbor_ids(), want.neighbor_ids())
+    assert got.stop_reason == want.stop_reason
+    assert got.completed == want.completed
+    assert got.degraded == want.degraded
+    assert got.elapsed_s == want.elapsed_s
+    assert len(got.trace) == len(want.trace)
+    for g, w in zip(got.trace.events, want.trace.events):
+        assert (g.chunk_id, g.rank, g.elapsed_s) == (
+            w.chunk_id,
+            w.rank,
+            w.elapsed_s,
+        )
+        assert (g.skipped, g.fault, g.retries) == (
+            w.skipped,
+            w.fault,
+            w.retries,
+        )
+        assert g.n_descriptors == w.n_descriptors
+        assert g.neighbors_found == w.neighbors_found
+        assert g.kth_distance == pytest.approx(w.kth_distance, rel=1e-12)
+
+
+class TestZeroRateBitIdentity:
+    @pytest.mark.parametrize("chunker_name", sorted(CHUNKER_FACTORIES))
+    def test_sequential_unchanged_under_null_injector(
+        self, tiny_collection, chunker_name
+    ):
+        index = make_index(tiny_collection, chunker_name)
+        queries = make_queries(10, tiny_collection.dimensions)
+        searcher = ChunkSearcher(index)
+        for i, q in enumerate(queries):
+            baseline = searcher.search(q, k=7)
+            nulled = searcher.search(
+                q, k=7, faults=injector(0.0), query_index=i
+            )
+            assert_results_identical(nulled, baseline)
+            assert not nulled.degraded
+            assert nulled.coverage_fraction == 1.0
+            assert nulled.chunks_skipped == 0
+
+    @pytest.mark.parametrize("chunker_name", sorted(CHUNKER_FACTORIES))
+    def test_batch_unchanged_under_null_injector(
+        self, tiny_collection, chunker_name
+    ):
+        index = make_index(tiny_collection, chunker_name)
+        queries = make_queries(10, tiny_collection.dimensions)
+        searcher = BatchChunkSearcher(index)
+        baseline = searcher.search_batch(queries, k=7)
+        nulled = searcher.search_batch(queries, k=7, faults=injector(0.0))
+        for got, want in zip(nulled, baseline):
+            assert_results_identical(got, want)
+
+
+class TestFaultedExecution:
+    @pytest.mark.parametrize("chunker_name", sorted(CHUNKER_FACTORIES))
+    def test_no_query_raises_and_skips_are_traced(
+        self, tiny_collection, chunker_name
+    ):
+        index = make_index(tiny_collection, chunker_name)
+        queries = make_queries(16, tiny_collection.dimensions, seed=23)
+        searcher = ChunkSearcher(index)
+        faults = injector(0.35)
+        saw_skip = saw_degraded = False
+        for i, q in enumerate(queries):
+            result = searcher.search(q, k=7, faults=faults, query_index=i)
+            skips = [e for e in result.trace.events if e.skipped]
+            # Empty results are legal only in the total-loss case.
+            if not result.neighbors:
+                assert len(skips) == len(result.trace)
+            assert result.chunks_skipped == len(skips)
+            assert result.degraded == bool(skips)
+            if skips:
+                saw_skip = saw_degraded = True
+                assert not result.completed
+                assert result.coverage_fraction < 1.0
+                for event in skips:
+                    assert event.fault != FAULT_NONE
+                # A skip scans nothing, so the running neighbor count
+                # cannot change across it.
+                events = result.trace.events
+                for prev, event in zip(events, events[1:]):
+                    if event.skipped:
+                        assert event.neighbors_found == prev.neighbors_found
+            else:
+                assert result.coverage_fraction == 1.0
+        assert saw_skip and saw_degraded  # rate 0.35 must actually bite
+
+    def test_degraded_proof_is_not_an_exactness_claim(self, tiny_collection):
+        index = make_index(tiny_collection, "srtree")
+        queries = make_queries(20, tiny_collection.dimensions, seed=31)
+        searcher = ChunkSearcher(index)
+        faults = injector(0.4)
+        reasons = set()
+        for i, q in enumerate(queries):
+            result = searcher.search(q, k=5, faults=faults, query_index=i)
+            reasons.add(result.stop_reason)
+            if result.degraded:
+                assert result.stop_reason in ("proof-degraded", "exhausted")
+                assert not result.completed
+            elif result.stop_reason == "completed":
+                assert result.completed
+        assert "proof-degraded" in reasons or "exhausted" in reasons
+
+    def test_spikes_and_retries_cost_time_but_not_quality(
+        self, tiny_collection
+    ):
+        """A spike/retry-only plan (no persistent faults, enough retries)
+        returns the same neighbors as a clean run, later."""
+        index = make_index(tiny_collection, "srtree")
+        queries = make_queries(8, tiny_collection.dimensions, seed=7)
+        searcher = ChunkSearcher(index)
+        plan = FaultPlan(seed=9, spike_rate=0.5, spike_s=0.05)
+        faults = FaultInjector(plan, PAPER_2005_COST_MODEL.disk)
+        slowed = 0
+        for i, q in enumerate(queries):
+            clean = searcher.search(q, k=5)
+            spiky = searcher.search(q, k=5, faults=faults, query_index=i)
+            np.testing.assert_array_equal(
+                spiky.neighbor_ids(), clean.neighbor_ids()
+            )
+            assert not spiky.degraded
+            assert spiky.elapsed_s >= clean.elapsed_s
+            slowed += spiky.elapsed_s > clean.elapsed_s
+        assert slowed > 0
+
+    def test_stop_rule_still_respected_under_faults(self, tiny_collection):
+        index = make_index(tiny_collection, "srtree")
+        queries = make_queries(6, tiny_collection.dimensions, seed=3)
+        searcher = ChunkSearcher(index)
+        faults = injector(0.3)
+        for i, q in enumerate(queries):
+            result = searcher.search(
+                q, k=5, stop_rule=MaxChunks(2), faults=faults, query_index=i
+            )
+            assert len(result.trace) <= 2
+
+
+class TestBatchEquivalenceUnderFaults:
+    @pytest.mark.parametrize("chunker_name", sorted(CHUNKER_FACTORIES))
+    @pytest.mark.parametrize("rate", [0.1, 0.35])
+    def test_batch_matches_sequential(
+        self, tiny_collection, chunker_name, rate
+    ):
+        index = make_index(tiny_collection, chunker_name)
+        queries = make_queries(12, tiny_collection.dimensions, seed=11)
+        faults = injector(rate)
+        sequential = ChunkSearcher(index)
+        wanted = [
+            sequential.search(q, k=7, faults=faults, query_index=i)
+            for i, q in enumerate(queries)
+        ]
+        batch = BatchChunkSearcher(index).search_batch(
+            queries, k=7, faults=faults
+        )
+        assert len(batch) == len(wanted)
+        for got, want in zip(batch, wanted):
+            assert_results_equivalent(got, want)
+
+    def test_workers_do_not_change_faulted_outcomes(self, small_synthetic):
+        result = small_synthetic
+        chunker = SRTreeChunker(leaf_capacity=64)
+        formed = chunker.form_chunks(result)
+        index = build_chunk_index(formed.retained, formed.chunk_set)
+        queries = make_queries(16, result.dimensions, seed=5)
+        faults = injector(0.25)
+        searcher = BatchChunkSearcher(index)
+        serial = searcher.search_batch(queries, k=10, faults=faults)
+        threaded = searcher.search_batch(queries, k=10, faults=faults, workers=4)
+        for got, want in zip(threaded, serial.results):
+            assert_results_identical(got, want)
+
+
+class TestRealCorruption:
+    def make_damaged_index(self, tmp_path, tiny_collection):
+        """Save an index to disk, then flip a payload bit in chunk 0."""
+        index = make_index(tiny_collection, "srtree")
+        directory = str(tmp_path / "index")
+        index.save(directory)
+        path = f"{directory}/{CHUNK_FILE_NAME}"
+        page_bytes = PageGeometry().page_bytes
+        offset = page_bytes * (1 + index.metas[0].page_offset) + 5
+        with open(path, "r+b") as f:
+            f.seek(offset)
+            value = f.read(1)[0]
+            f.seek(offset)
+            f.write(bytes([value ^ 0x10]))
+        return ChunkIndex.load(directory, tiny_collection.dimensions)
+
+    def test_checksum_failure_skipped_with_injector(
+        self, tmp_path, tiny_collection
+    ):
+        with self.make_damaged_index(tmp_path, tiny_collection) as loaded:
+            searcher = ChunkSearcher(loaded)
+            queries = make_queries(5, tiny_collection.dimensions, seed=13)
+            hit_damage = False
+            for i, q in enumerate(queries):
+                result = searcher.search(
+                    q, k=5, faults=injector(0.0), query_index=i
+                )
+                damaged = [
+                    e
+                    for e in result.trace.events
+                    if e.chunk_id == 0 and e.skipped
+                ]
+                clean = [
+                    e
+                    for e in result.trace.events
+                    if e.chunk_id == 0 and not e.skipped
+                ]
+                assert not clean  # chunk 0 can never be scanned
+                if damaged:
+                    hit_damage = True
+                    assert result.degraded and not result.completed
+                    assert damaged[0].fault == "corrupt"
+            assert hit_damage
+
+    def test_checksum_failure_raises_without_injector(
+        self, tmp_path, tiny_collection
+    ):
+        with self.make_damaged_index(tmp_path, tiny_collection) as loaded:
+            searcher = ChunkSearcher(loaded)
+            queries = make_queries(5, tiny_collection.dimensions, seed=13)
+            with pytest.raises(ChecksumError):
+                for q in queries:
+                    searcher.search(q, k=5)
+
+    def test_batch_reads_damaged_chunk_once(self, tmp_path, tiny_collection):
+        with self.make_damaged_index(tmp_path, tiny_collection) as loaded:
+            queries = make_queries(6, tiny_collection.dimensions, seed=17)
+            batch = BatchChunkSearcher(loaded).search_batch(
+                queries, k=5, faults=injector(0.0)
+            )
+            for result in batch:
+                assert all(
+                    e.skipped for e in result.trace.events if e.chunk_id == 0
+                )
+
+
+class TestSearcherOwnership:
+    def test_searchers_close_their_index(self, tmp_path, tiny_collection):
+        index = make_index(tiny_collection, "srtree")
+        directory = str(tmp_path / "index")
+        index.save(directory)
+        loaded = ChunkIndex.load(directory, tiny_collection.dimensions)
+        with ChunkSearcher(loaded) as searcher:
+            searcher.search(make_queries(1, tiny_collection.dimensions)[0], k=3)
+        with pytest.raises(ValueError):
+            loaded.read_chunk(0)  # underlying reader is closed
+
+    def test_batch_searcher_context_manager(self, tmp_path, tiny_collection):
+        index = make_index(tiny_collection, "srtree")
+        directory = str(tmp_path / "index")
+        index.save(directory)
+        loaded = ChunkIndex.load(directory, tiny_collection.dimensions)
+        queries = make_queries(3, tiny_collection.dimensions)
+        with BatchChunkSearcher(loaded) as searcher:
+            searcher.search_batch(queries, k=3)
+        with pytest.raises(ValueError):
+            loaded.read_chunk(0)

@@ -7,6 +7,7 @@ from repro.core.metrics import (
     completion_stats,
     curves_from_traces,
     precision_at_k,
+    robustness_stats,
 )
 from repro.core.trace import SearchTrace, TraceEvent
 
@@ -99,3 +100,48 @@ class TestCompletionStats:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             completion_stats([])
+
+
+def make_degraded_trace(start, steps):
+    """steps: list of (elapsed, skipped) over 4-descriptor chunks."""
+    t = SearchTrace(start_elapsed_s=start)
+    for rank, (elapsed, skipped) in enumerate(steps, start=1):
+        t.append(
+            TraceEvent(
+                chunk_id=rank - 1,
+                rank=rank,
+                elapsed_s=elapsed,
+                n_descriptors=4,
+                neighbors_found=0 if skipped else 2,
+                kth_distance=1.0,
+                skipped=skipped,
+                fault="corrupt" if skipped else "none",
+                retries=2 if skipped else 0,
+            )
+        )
+    return t
+
+
+class TestRobustnessStats:
+    def test_aggregates(self):
+        clean = make_degraded_trace(0.0, [(0.1, False), (0.2, False)])
+        lossy = make_degraded_trace(0.0, [(0.1, False), (0.3, True)])
+        stats = robustness_stats([clean, lossy])
+        assert stats.degraded_fraction == pytest.approx(0.5)
+        assert stats.mean_coverage == pytest.approx((1.0 + 0.5) / 2)
+        assert stats.mean_chunks_skipped == pytest.approx(0.5)
+        assert stats.mean_retries == pytest.approx(1.0)
+        assert stats.mean_elapsed_s == pytest.approx(0.25)
+        assert stats.n_queries == 2
+
+    def test_fault_free_run_is_clean(self):
+        traces = [make_trace(0.0, [(0.2, 1)])]
+        stats = robustness_stats(traces)
+        assert stats.degraded_fraction == 0.0
+        assert stats.mean_coverage == 1.0
+        assert stats.mean_chunks_skipped == 0.0
+        assert stats.mean_retries == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robustness_stats([])

@@ -84,3 +84,54 @@ class TestSummaries:
     def test_chunks_read_and_scanned(self, trace):
         assert trace.chunks_read == 3
         assert trace.descriptors_scanned == 30
+
+    def test_clean_trace_has_full_coverage(self, trace):
+        assert trace.chunks_skipped == 0
+        assert trace.descriptors_skipped == 0
+        assert trace.coverage_fraction == 1.0
+        assert trace.total_retries == 0
+
+
+def skipped_event(rank, elapsed, n_desc=10, fault="corrupt", retries=2):
+    return TraceEvent(
+        chunk_id=rank - 1,
+        rank=rank,
+        elapsed_s=elapsed,
+        n_descriptors=n_desc,
+        neighbors_found=0,
+        kth_distance=math.inf,
+        skipped=True,
+        fault=fault,
+        retries=retries,
+    )
+
+
+class TestDegradedSummaries:
+    @pytest.fixture()
+    def degraded_trace(self):
+        t = SearchTrace(start_elapsed_s=0.05)
+        t.append(event(1, 0.10, 2))
+        t.append(skipped_event(2, 0.25, n_desc=30))
+        t.append(event(3, 0.35, 5))
+        t.append(skipped_event(4, 0.50, n_desc=10, fault="read-error",
+                               retries=1))
+        return t
+
+    def test_skip_counters(self, degraded_trace):
+        assert degraded_trace.chunks_read == 2
+        assert degraded_trace.chunks_skipped == 2
+        assert degraded_trace.descriptors_scanned == 20
+        assert degraded_trace.descriptors_skipped == 40
+        assert degraded_trace.total_retries == 3
+
+    def test_coverage_fraction(self, degraded_trace):
+        assert degraded_trace.coverage_fraction == pytest.approx(20 / 60)
+
+    def test_empty_trace_coverage_is_one(self):
+        assert SearchTrace(start_elapsed_s=0.0).coverage_fraction == 1.0
+
+    def test_default_events_are_unskipped(self, trace):
+        for e in trace.events:
+            assert not e.skipped
+            assert e.fault == "none"
+            assert e.retries == 0

@@ -96,6 +96,64 @@ class TestOverlappedTimeline:
         assert t3 == pytest.approx(0.301)
 
 
+class TestDegradedTimeline:
+    def test_extra_io_extends_the_read(self):
+        """Fault latency (retries, backoff, spikes) rides on the read
+        stage: the chunk completes exactly extra_io_s later."""
+        model = make_model(io_per_page=0.010, cpu_per_desc=0.001)
+        clean = model.simulator()
+        clean.start_query(1, 0)
+        t_clean = clean.process_chunk(1, 10)
+
+        faulted = model.simulator()
+        faulted.start_query(1, 0)
+        t_faulted = faulted.process_chunk(1, 10, extra_io_s=0.25)
+        assert t_faulted == pytest.approx(t_clean + 0.25)
+
+    def test_zero_extra_io_is_bit_identical(self):
+        model = make_model()
+        a, b = model.simulator(), model.simulator()
+        for sim in (a, b):
+            sim.start_query(3, 500)
+        for pages, descs in [(1, 10), (2, 4), (1, 7)]:
+            t_a = a.process_chunk(pages, descs)
+            t_b = b.process_chunk(pages, descs, extra_io_s=0.0)
+            assert t_a == t_b  # exactly, not approximately
+
+    def test_skip_charges_pure_io(self):
+        """A skipped chunk pays its failed-attempt I/O but no CPU."""
+        sim = make_model(io_per_page=0.010, cpu_per_desc=0.001,
+                         overlap=False).simulator()
+        sim.start_query(2, 0)
+        t1 = sim.skip_chunk(0.030)
+        assert t1 == pytest.approx(0.030)
+        t2 = sim.process_chunk(1, 10)
+        assert t2 == pytest.approx(0.030 + 0.010 + 0.010)
+        assert sim.chunks_processed == 2
+
+    def test_skip_in_overlap_mode_occupies_read_stage(self):
+        """Under overlap, the failed reads serialize with other reads but
+        the processing stage stays free."""
+        sim = make_model(io_per_page=0.010, cpu_per_desc=0.001).simulator()
+        sim.start_query(3, 0)
+        sim.process_chunk(1, 10)          # R0 = 0.010, C0 = 0.020
+        t_skip = sim.skip_chunk(0.040)    # R1 = 0.050, no CPU
+        assert t_skip == pytest.approx(0.050)
+        t2 = sim.process_chunk(1, 10)
+        # R2 = max(R1, C0) + 0.010 = 0.060; C2 = max(R2, C1) + 0.010.
+        assert t2 == pytest.approx(0.070)
+
+    def test_skip_validation(self):
+        sim = make_model().simulator()
+        with pytest.raises(RuntimeError):
+            sim.skip_chunk(0.01)
+        sim.start_query(1, 0)
+        with pytest.raises(ValueError):
+            sim.skip_chunk(-0.01)
+        with pytest.raises(ValueError):
+            sim.process_chunk(1, 1, extra_io_s=-0.5)
+
+
 class TestProtocol:
     def test_start_query_charges_index_read(self):
         model = make_model()

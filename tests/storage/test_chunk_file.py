@@ -5,7 +5,13 @@ import io
 import numpy as np
 import pytest
 
-from repro.storage.chunk_file import ChunkFileReader, ChunkFileWriter
+from repro.storage.chunk_file import (
+    _TABLE_ENTRY,
+    _TABLE_HEADER,
+    ChunkFileReader,
+    ChunkFileWriter,
+)
+from repro.storage.errors import CorruptFileError
 from repro.storage.pages import PageGeometry
 
 
@@ -28,7 +34,24 @@ class TestWriter:
         assert (e3.page_offset, e3.page_count) == (3, 1)
         import os
 
-        assert os.path.getsize(path) == 4 * 256  # fully padded
+        # Header page + 4 fully padded data pages + trailing CRC table.
+        table_bytes = _TABLE_HEADER.size + 3 * _TABLE_ENTRY.size
+        assert os.path.getsize(path) == 5 * 256 + table_bytes
+
+    def test_v1_extents_and_padding(self, tmp_path):
+        """Legacy v1 files stay headerless and fully page-padded."""
+        path = str(tmp_path / "chunks.dat")
+        geometry = PageGeometry(256)
+        with ChunkFileWriter(
+            path, dimensions=4, geometry=geometry, version=1
+        ) as writer:
+            e1 = writer.write_chunk(*chunk_data(10, 4))
+            e2 = writer.write_chunk(*chunk_data(20, 4))
+            e3 = writer.write_chunk(*chunk_data(1, 4))
+        assert (e1.page_offset, e2.page_offset, e3.page_offset) == (0, 1, 3)
+        import os
+
+        assert os.path.getsize(path) == 4 * 256  # fully padded, no header
 
     def test_write_after_close_rejected(self, tmp_path):
         writer = ChunkFileWriter(str(tmp_path / "x.dat"), dimensions=2)
@@ -41,7 +64,9 @@ class TestWriter:
         writer = ChunkFileWriter(stream, dimensions=3, geometry=PageGeometry(128))
         writer.write_chunk(*chunk_data(5, 3))
         writer.close()
-        assert len(stream.getvalue()) == 128
+        # Header page + one data page + one-entry CRC table.
+        table_bytes = _TABLE_HEADER.size + _TABLE_ENTRY.size
+        assert len(stream.getvalue()) == 2 * 128 + table_bytes
 
 
 class TestRoundtrip:
@@ -72,22 +97,37 @@ class TestRoundtrip:
     def test_truncated_file_detected(self, tmp_path):
         path = str(tmp_path / "chunks.dat")
         with ChunkFileWriter(path, dimensions=2) as writer:
+            writer.write_chunk(*chunk_data(4, 2))
+        # Chop the file inside the header: rejected on open.
+        with open(path, "r+b") as f:
+            f.truncate(10)
+        with pytest.raises(CorruptFileError, match="short"):
+            ChunkFileReader(path, dimensions=2)
+
+    def test_truncated_v1_file_detected(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        with ChunkFileWriter(path, dimensions=2, version=1) as writer:
             extent = writer.write_chunk(*chunk_data(4, 2))
-        # Chop the file short.
+        # v1 has no header; truncation surfaces at read time.
         with open(path, "r+b") as f:
             f.truncate(10)
         with ChunkFileReader(path, dimensions=2) as reader:
             with pytest.raises(IOError, match="truncated"):
                 reader.read_chunk(extent)
 
-    def test_geometry_mismatch_breaks_reads(self, tmp_path):
-        """Reading with the wrong page size returns garbage offsets — the
-        reader must at least not crash silently on record alignment."""
+    def test_geometry_mismatch_rejected(self, tmp_path):
+        """The v2 header records the page size, so opening with the wrong
+        geometry fails loudly instead of decoding garbage offsets."""
         path = str(tmp_path / "chunks.dat")
         with ChunkFileWriter(path, dimensions=2, geometry=PageGeometry(256)) as w:
             w.write_chunk(*chunk_data(4, 2))
-            extent = w.write_chunk(*chunk_data(4, 2, offset=50))
-        reader = ChunkFileReader(path, dimensions=2, geometry=PageGeometry(128))
-        ids, _ = reader.read_chunk(extent)  # wrong page size -> wrong chunk
-        assert not np.array_equal(ids, np.arange(50, 54))
-        reader.close()
+            w.write_chunk(*chunk_data(4, 2, offset=50))
+        with pytest.raises(CorruptFileError, match="page"):
+            ChunkFileReader(path, dimensions=2, geometry=PageGeometry(128))
+
+    def test_dimension_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        with ChunkFileWriter(path, dimensions=2) as w:
+            w.write_chunk(*chunk_data(4, 2))
+        with pytest.raises(CorruptFileError, match="-d"):
+            ChunkFileReader(path, dimensions=3)

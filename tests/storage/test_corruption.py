@@ -1,0 +1,277 @@
+"""Corruption coverage: bit flips, truncations, crash remnants, and the
+atomic-write / poisoned-writer machinery across all three file formats."""
+
+import io
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.chunk import ChunkMeta
+from repro.core.dataset import DescriptorCollection
+from repro.storage.atomic import atomic_output
+from repro.storage.chunk_file import (
+    CHUNK_MAGIC,
+    ChunkFileReader,
+    ChunkFileWriter,
+)
+from repro.storage.collection_file import (
+    read_collection_file,
+    write_collection_file,
+)
+from repro.storage.errors import ChecksumError, CorruptFileError
+from repro.storage.index_file import read_index_file, write_index_file
+from repro.storage.pages import PageGeometry
+
+
+def chunk_data(n, dims, offset=0):
+    ids = np.arange(offset, offset + n)
+    vectors = np.arange(n * dims, dtype=np.float32).reshape(n, dims) + offset
+    return ids, vectors
+
+
+def write_v2(path, n_chunks=3, dims=4, page_bytes=256):
+    geometry = PageGeometry(page_bytes)
+    extents = []
+    with ChunkFileWriter(path, dimensions=dims, geometry=geometry) as writer:
+        for i in range(n_chunks):
+            extents.append(writer.write_chunk(*chunk_data(10, dims, i * 100)))
+    return extents, geometry
+
+
+def flip_bit(path, byte_offset, bit=0):
+    with open(path, "r+b") as f:
+        f.seek(byte_offset)
+        value = f.read(1)[0]
+        f.seek(byte_offset)
+        f.write(bytes([value ^ (1 << bit)]))
+
+
+class TestChunkFileCorruption:
+    def test_payload_bit_flip_detected(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        extents, geometry = write_v2(path)
+        # Flip one bit inside the second chunk's payload (data region
+        # starts at physical page 1).
+        flip_bit(path, 256 * (1 + extents[1].page_offset) + 17, bit=3)
+        with ChunkFileReader(path, dimensions=4, geometry=geometry) as reader:
+            ids, _ = reader.read_chunk(extents[0])  # untouched chunk is fine
+            np.testing.assert_array_equal(ids, np.arange(10))
+            with pytest.raises(ChecksumError, match="CRC32"):
+                reader.read_chunk(extents[1])
+            ids, _ = reader.read_chunk(extents[2])  # later chunks still fine
+            np.testing.assert_array_equal(ids, np.arange(200, 210))
+
+    def test_padding_bit_flip_is_harmless(self, tmp_path):
+        """Only the payload is checksummed — damage to the page padding
+        (never decoded) must not fail reads."""
+        path = str(tmp_path / "chunks.dat")
+        extents, geometry = write_v2(path, n_chunks=1)
+        # 10 records x 20 bytes = 200 payload bytes; flip inside padding.
+        flip_bit(path, 256 * 1 + 230)
+        with ChunkFileReader(path, dimensions=4, geometry=geometry) as reader:
+            ids, _ = reader.read_chunk(extents[0])
+        np.testing.assert_array_equal(ids, np.arange(10))
+
+    def test_mid_chunk_truncation_detected(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        extents, geometry = write_v2(path)
+        # Cut inside the last chunk: its pages (and the CRC table) vanish.
+        with open(path, "r+b") as f:
+            f.truncate(256 * (1 + extents[2].page_offset) + 50)
+        with pytest.raises(CorruptFileError):
+            ChunkFileReader(path, dimensions=4, geometry=geometry)
+
+    def test_unfinalized_file_rejected(self, tmp_path):
+        """A crash between header write and close leaves table_page=0;
+        the reader must refuse rather than decode garbage."""
+        path = str(tmp_path / "chunks.dat")
+        geometry = PageGeometry(256)
+        stream = io.BytesIO()
+        writer = ChunkFileWriter(stream, dimensions=4, geometry=geometry)
+        writer.write_chunk(*chunk_data(10, 4))
+        # Simulate the crash: persist the bytes without close().
+        with open(path, "wb") as f:
+            f.write(stream.getvalue())
+        with pytest.raises(CorruptFileError, match="finalized"):
+            ChunkFileReader(path, dimensions=4, geometry=geometry)
+
+    def test_corrupt_table_page_pointer_rejected(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        _, geometry = write_v2(path, n_chunks=1)
+        # table_page is the last uint64 of the header.
+        table_page_offset = struct.calcsize("<8sIIII")
+        with open(path, "r+b") as f:
+            f.seek(table_page_offset + 8)
+            f.write(struct.pack("<Q", 9999))
+        with pytest.raises(CorruptFileError, match="table"):
+            ChunkFileReader(path, dimensions=4, geometry=geometry)
+
+    def test_v1_file_readable_under_v2_reader(self, tmp_path):
+        """Round trip: files written by the legacy v1 writer stay fully
+        readable (headerless, no checksums) through the current reader."""
+        path = str(tmp_path / "chunks.dat")
+        geometry = PageGeometry(256)
+        payloads = [chunk_data(n, 4, offset=n * 10) for n in (3, 12, 7)]
+        with ChunkFileWriter(
+            path, dimensions=4, geometry=geometry, version=1
+        ) as writer:
+            extents = [writer.write_chunk(i, v) for i, v in payloads]
+        with open(path, "rb") as f:
+            assert f.read(8) != CHUNK_MAGIC  # truly headerless
+        with ChunkFileReader(path, dimensions=4, geometry=geometry) as reader:
+            assert reader.version == 1
+            assert not reader.has_checksums
+            for (ids, vecs), extent in zip(payloads, extents):
+                out_ids, out_vecs = reader.read_chunk(extent)
+                np.testing.assert_array_equal(out_ids, ids)
+                np.testing.assert_array_equal(out_vecs, vecs)
+
+    def test_v1_and_v2_extents_identical(self, tmp_path):
+        """Extents are logical: the v2 header page must not shift them."""
+        geometry = PageGeometry(256)
+        extents = {}
+        for version in (1, 2):
+            path = str(tmp_path / f"chunks_v{version}.dat")
+            with ChunkFileWriter(
+                path, dimensions=4, geometry=geometry, version=version
+            ) as writer:
+                extents[version] = [
+                    writer.write_chunk(*chunk_data(n, 4)) for n in (10, 20, 5)
+                ]
+        assert extents[1] == extents[2]
+
+    def test_checksum_verification_can_be_disabled(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        extents, geometry = write_v2(path, n_chunks=1)
+        flip_bit(path, 256 * 1 + 17)
+        reader = ChunkFileReader(
+            path, dimensions=4, geometry=geometry, verify_checksums=False
+        )
+        with reader:
+            ids, _ = reader.read_chunk(extents[0])  # damage passes through
+        assert ids.shape == (10,)
+
+
+class TestPoisonedWriter:
+    def test_failed_write_poisons_and_discards(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        writer = ChunkFileWriter(path, dimensions=4)
+        writer.write_chunk(*chunk_data(4, 4))
+        with pytest.raises(ValueError):
+            writer.write_chunk(np.arange(3), np.zeros((4, 4), np.float32))
+        with pytest.raises(ValueError, match="poisoned"):
+            writer.write_chunk(*chunk_data(4, 4))
+        writer.close()
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_with_block_exception_discards_tmp(self, tmp_path):
+        path = str(tmp_path / "chunks.dat")
+        with pytest.raises(RuntimeError):
+            with ChunkFileWriter(path, dimensions=4) as writer:
+                writer.write_chunk(*chunk_data(4, 4))
+                raise RuntimeError("boom")
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_failed_rewrite_preserves_existing_file(self, tmp_path):
+        """An aborted write must never clobber a good file already at the
+        target path."""
+        path = str(tmp_path / "chunks.dat")
+        extents, geometry = write_v2(path, n_chunks=1)
+        with pytest.raises(RuntimeError):
+            with ChunkFileWriter(path, dimensions=4, geometry=geometry) as w:
+                w.write_chunk(*chunk_data(2, 4))
+                raise RuntimeError("boom")
+        with ChunkFileReader(path, dimensions=4, geometry=geometry) as reader:
+            ids, _ = reader.read_chunk(extents[0])
+        np.testing.assert_array_equal(ids, np.arange(10))
+
+
+class TestAtomicOutput:
+    def test_success_publishes_and_cleans_tmp(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_output(path) as stream:
+            stream.write(b"payload")
+        assert open(path, "rb").read() == b"payload"
+        assert not os.path.exists(path + ".tmp")
+
+    def test_failure_leaves_no_trace(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with pytest.raises(RuntimeError):
+            with atomic_output(path) as stream:
+                stream.write(b"partial")
+                raise RuntimeError("boom")
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+
+def make_collection(n=30, dims=4):
+    rng = np.random.default_rng(7)
+    vectors = rng.standard_normal((n, dims)).astype(np.float32)
+    return DescriptorCollection.from_vectors(vectors)
+
+
+class TestCollectionFileCorruption:
+    def test_truncated_collection_detected(self, tmp_path):
+        path = str(tmp_path / "coll.dat")
+        write_collection_file(path, make_collection())
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 40)
+        with pytest.raises(CorruptFileError, match="truncated"):
+            read_collection_file(path)
+
+    def test_magic_bit_flip_detected(self, tmp_path):
+        path = str(tmp_path / "coll.dat")
+        write_collection_file(path, make_collection())
+        flip_bit(path, 2)
+        with pytest.raises(CorruptFileError, match="magic"):
+            read_collection_file(path)
+
+    def test_atomic_write_failure_leaves_no_file(self, tmp_path):
+        missing = str(tmp_path / "nope" / "coll.dat")
+        with pytest.raises(OSError):
+            write_collection_file(missing, make_collection())
+        assert not os.path.exists(missing)
+        assert not os.path.exists(missing + ".tmp")
+
+
+def make_metas(n=4, dims=3):
+    rng = np.random.default_rng(3)
+    return [
+        ChunkMeta(
+            chunk_id=i,
+            centroid=rng.standard_normal(dims),
+            radius=float(i + 1),
+            n_descriptors=5,
+            page_offset=i,
+            page_count=1,
+        )
+        for i in range(n)
+    ]
+
+
+class TestIndexFileCorruption:
+    def test_truncated_index_detected(self, tmp_path):
+        path = str(tmp_path / "index.dat")
+        write_index_file(path, make_metas())
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 8)
+        with pytest.raises(CorruptFileError, match="truncated"):
+            read_index_file(path)
+
+    def test_header_bit_flip_detected(self, tmp_path):
+        path = str(tmp_path / "index.dat")
+        write_index_file(path, make_metas())
+        flip_bit(path, 4)
+        with pytest.raises(CorruptFileError, match="magic"):
+            read_index_file(path)
+
+    def test_atomic_write_failure_leaves_no_file(self, tmp_path):
+        missing = str(tmp_path / "nope" / "index.dat")
+        with pytest.raises(OSError):
+            write_index_file(missing, make_metas())
+        assert not os.path.exists(missing)
+        assert not os.path.exists(missing + ".tmp")
