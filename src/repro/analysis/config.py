@@ -21,7 +21,7 @@ PACKAGE_NAME = "repro"
 #: reads here would silently contaminate the paper's time-to-quality
 #: curves with hardware-dependent noise.
 SIMULATED_LAYERS: FrozenSet[str] = frozenset(
-    {"core", "simio", "storage", "chunking", "srtree", "faults"}
+    {"core", "simio", "storage", "chunking", "srtree", "faults", "service"}
 )
 
 #: Files that may read the wall clock despite living in a simulated
@@ -39,15 +39,23 @@ WALL_CLOCK_ALLOWLIST: FrozenSet[str] = frozenset({"simio/clock.py"})
 #: must stay ignorant of core so cost models remain reusable.
 _APP_SHELL: FrozenSet[str] = frozenset({"experiments", "extensions", "system", "cli"})
 FORBIDDEN_IMPORTS: Mapping[str, FrozenSet[str]] = {
-    "core": _APP_SHELL,
-    "simio": _APP_SHELL | frozenset({"core"}),
-    "storage": _APP_SHELL,
-    "chunking": _APP_SHELL,
-    "srtree": _APP_SHELL,
+    "core": _APP_SHELL | frozenset({"service"}),
+    "simio": _APP_SHELL | frozenset({"core", "service"}),
+    "storage": _APP_SHELL | frozenset({"service"}),
+    "chunking": _APP_SHELL | frozenset({"service"}),
+    "srtree": _APP_SHELL | frozenset({"service"}),
     # Fault plans wrap storage readers and the simio disk model; the
     # degraded-execution *policy* lives in core, which imports faults —
     # never the other way around.
-    "faults": _APP_SHELL | frozenset({"core"}),
+    "faults": _APP_SHELL | frozenset({"core", "service"}),
+    # The query service composes core search, simio queueing, faults and
+    # workload arrivals; only the app shell (cli / experiments) may sit
+    # above it, and no substrate layer may reach up into it.
+    "service": _APP_SHELL | frozenset({"chunking", "srtree", "storage", "analysis"}),
+    "workloads": frozenset({"service"}),
+    "parallel": frozenset({"service"}),
+    "extensions": frozenset({"service"}),
+    "system": frozenset({"service"}),
     "analysis": _APP_SHELL | SIMULATED_LAYERS | frozenset({"workloads", "parallel"}),
 }
 

@@ -9,6 +9,7 @@ Usage::
     repro demo                               # tiny end-to-end search demo
     repro batch-search SYSTEM COLLECTION     # batched queries + throughput
     repro faultsim [--rates 0,0.1,0.3]       # quality-vs-fault-rate sweep
+    repro servesim [--loads 0.5,2,8]         # simulated-traffic service sweep
     repro lint [PATH]                        # AST-based invariant checker
 
 The experiment subcommand regenerates the paper artefacts (Tables 1-2,
@@ -29,6 +30,7 @@ from .experiments import (
     faultsim,
     fig1,
     quality_figures,
+    servesim,
     table1,
     table2,
 )
@@ -68,6 +70,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[[ExperimentData], object]] = {
     "ablation_approx_rules": ablations.run_approx_rules_ablation,
     "lessons_summary": ablations.run_lessons_summary,
     "faultsim": faultsim.run,
+    "servesim": servesim.run,
 }
 
 
@@ -199,6 +202,53 @@ def _build_parser() -> argparse.ArgumentParser:
     faultsim_p.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the sweep as a deterministic JSON report",
+    )
+    faultsim_p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resume file: finished sweep points are skipped on rerun",
+    )
+
+    servesim_p = sub.add_parser(
+        "servesim",
+        help=(
+            "simulate open-loop traffic against the resilient query "
+            "service; emit SLO metrics per (fault rate, load) cell"
+        ),
+    )
+    servesim_p.add_argument("--scale", default="test")
+    servesim_p.add_argument(
+        "--seed", type=int, default=servesim.DEFAULT_SEED,
+        help="root seed (same seed => byte-identical report)",
+    )
+    servesim_p.add_argument(
+        "--loads", default=None,
+        help=(
+            "comma-separated load factors (multiples of the pool's "
+            "calibrated capacity; default: built-in grid)"
+        ),
+    )
+    servesim_p.add_argument(
+        "--fault-rates", default=None,
+        help="comma-separated fault rates in [0, 0.5] (default: built-in grid)",
+    )
+    servesim_p.add_argument(
+        "--workers", type=int, default=4,
+        help="simulated searcher workers in the pool",
+    )
+    servesim_p.add_argument(
+        "--family", default="SR", choices=("SR", "BAG"),
+        help="chunk-forming family to serve",
+    )
+    servesim_p.add_argument("--size-class", default="SMALL",
+                            choices=("SMALL", "MEDIUM", "LARGE"))
+    servesim_p.add_argument("--workload", default="DQ", choices=("DQ", "SQ"))
+    servesim_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the grid as a deterministic JSON report",
+    )
+    servesim_p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resume file: finished grid cells are skipped on rerun",
     )
 
     lint = sub.add_parser(
@@ -464,6 +514,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         workload_name=args.workload,
         rates=rates,
         seed=args.seed,
+        checkpoint_path=args.checkpoint,
     )
     print(result.render())
     if args.json:
@@ -483,6 +534,57 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(text, name, upper=None):
+    """Comma-separated floats from a CLI flag, with range checking."""
+    try:
+        values = [float(token) for token in text.split(",") if token.strip()]
+    except ValueError:
+        raise CliError(f"{name} must be comma-separated numbers, got {text!r}")
+    if not values:
+        raise CliError(f"{name} must name at least one value")
+    if any(v < 0.0 or (upper is not None and v > upper) for v in values):
+        bound = f"[0, {upper}]" if upper is not None else "non-negative"
+        raise CliError(f"{name} values must lie in {bound}")
+    return values
+
+
+def _cmd_servesim(args: argparse.Namespace) -> int:
+    import json
+
+    scale = get_scale(args.scale)
+    if args.loads is None:
+        loads = list(servesim.DEFAULT_LOAD_FACTORS)
+    else:
+        loads = _parse_grid(args.loads, "--loads")
+        if any(not load > 0.0 for load in loads):
+            raise CliError("--loads values must be positive")
+    if args.fault_rates is None:
+        fault_rates = list(servesim.DEFAULT_FAULT_RATES)
+    else:
+        fault_rates = _parse_grid(args.fault_rates, "--fault-rates", upper=0.5)
+    if args.workers < 1:
+        raise CliError(f"--workers must be at least 1, got {args.workers}")
+    data = prepare(scale)
+    result = servesim.sweep(
+        data,
+        family=args.family,
+        size_class=args.size_class,
+        workload_name=args.workload,
+        load_factors=loads,
+        fault_rates=fault_rates,
+        seed=args.seed,
+        n_workers=args.workers,
+        checkpoint_path=args.checkpoint,
+    )
+    print(result.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_report(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "list-experiments": _cmd_list,
     "experiment": _cmd_experiment,
@@ -494,6 +596,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "image-query": _cmd_image_query,
     "faultsim": _cmd_faultsim,
+    "servesim": _cmd_servesim,
     "lint": run_lint,
 }
 

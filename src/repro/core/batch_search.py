@@ -122,6 +122,7 @@ class _QueryState:
 
     __slots__ = (
         "position",
+        "fault_key",
         "query",
         "k",
         "order",
@@ -157,8 +158,10 @@ class _QueryState:
         stop_rule: StopRule,
         truth: Optional[frozenset],
         simulator=None,
+        fault_key: Optional[int] = None,
     ):
         self.position = position
+        self.fault_key = position if fault_key is None else fault_key
         self.query = query
         self.k = k
         # Plain Python lists: the execution loop touches one element per
@@ -292,6 +295,7 @@ class BatchChunkSearcher:
         true_neighbor_ids: Optional[Sequence[Optional[Sequence[int]]]] = None,
         workers: int = 1,
         faults: Optional[FaultInjector] = None,
+        query_indices: Optional[Sequence[int]] = None,
     ) -> BatchSearchResult:
         """Run every query of a batch; per-query outcomes match
         ``ChunkSearcher.search``.
@@ -322,6 +326,12 @@ class BatchChunkSearcher:
             query's *position in this batch*, so ``results[i]`` matches
             ``ChunkSearcher.search(queries[i], ..., query_index=i)`` —
             faults included — regardless of engine or worker count.
+        query_indices:
+            Optional per-query fault-plan keys overriding the default
+            batch positions — the ``query_index`` argument of
+            ``ChunkSearcher.search``, batched.  A service running one
+            query per call passes the query's stable workload index here
+            so its fault draws match a whole-workload batch run.
         """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
@@ -344,6 +354,10 @@ class BatchChunkSearcher:
             raise ValueError(
                 f"got {len(true_neighbor_ids)} ground-truth lists "
                 f"for {n_queries} queries"
+            )
+        if query_indices is not None and len(query_indices) != n_queries:
+            raise ValueError(
+                f"got {len(query_indices)} query indices for {n_queries} queries"
             )
         stop_rule = stop_rule if stop_rule is not None else ExactCompletion()
 
@@ -383,6 +397,9 @@ class BatchChunkSearcher:
                     stop_rule=stop_rule,
                     truth=truth_i,
                     simulator=simulator,
+                    fault_key=(
+                        int(query_indices[i]) if query_indices is not None else None
+                    ),
                 )
             )
 
@@ -667,6 +684,7 @@ class BatchChunkSearcher:
             process = self._process_chunk_for_state
             order = state.order
             position = state.position
+            fault_key = state.fault_key
             while not state.done:
                 chunk_id = order[state.rank0]
                 outcome = None
@@ -676,7 +694,7 @@ class BatchChunkSearcher:
                         is not None
                     )
                     outcome = faults.outcome(
-                        position,
+                        fault_key,
                         chunk_id,
                         self._page_list[chunk_id],
                         readable=readable,
@@ -726,7 +744,7 @@ class BatchChunkSearcher:
                     failed_chunks if failed_chunks is not None else set(),
                 )
                 outcome = faults.outcome(
-                    state.position,
+                    state.fault_key,
                     chunk_id,
                     self._page_list[chunk_id],
                     readable=contents is not None,

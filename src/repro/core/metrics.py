@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,14 @@ __all__ = [
     "CompletionStats",
     "robustness_stats",
     "RobustnessStats",
+    "percentile",
+    "OUTCOME_OK",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_DEADLINE",
+    "OUTCOME_SHED",
+    "REQUEST_OUTCOMES",
+    "SloStats",
+    "slo_stats",
 ]
 
 
@@ -165,6 +173,146 @@ class RobustnessStats:
     mean_retries: float
     mean_elapsed_s: float
     n_queries: int
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in (0, 1]).
+
+    Deterministic and interpolation-free: the returned value is always an
+    element of ``values`` (the smallest element whose rank covers ``q``),
+    so two runs that produced the same latencies report bit-identical
+    p50/p95/p99 figures regardless of platform math libraries.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if not 0.0 < q <= 1.0 or math.isnan(q):
+        raise ValueError(f"q must lie in (0, 1], got {q}")
+    ordered = sorted(float(v) for v in values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+#: Request served and provably exact (completion proof fired or every
+#: chunk was read cleanly).
+OUTCOME_OK = "ok"
+#: Request served but quality-degraded: the scan was trimmed by a chunk
+#: budget, or chunks were skipped (faults / open breakers).
+OUTCOME_DEGRADED = "degraded"
+#: Request served but its deadline cut the scan short (the
+#: ``DeadlineBudget`` rule fired, or the deadline expired while queued
+#: and only a minimal scan ran).
+OUTCOME_DEADLINE = "deadline"
+#: Request rejected at admission (queue full or predicted to miss its
+#: deadline); no search ran.
+OUTCOME_SHED = "shed"
+
+#: The complete per-request outcome vocabulary, in severity order.
+REQUEST_OUTCOMES = (OUTCOME_OK, OUTCOME_DEGRADED, OUTCOME_DEADLINE, OUTCOME_SHED)
+
+
+@dataclasses.dataclass(frozen=True)
+class SloStats:
+    """Service-level summary of one simulated-traffic run.
+
+    Latency percentiles are computed with :func:`percentile`
+    (nearest-rank) over *served* requests only — shed requests never
+    received a result, so they have no latency; their cost appears in
+    ``shed_fraction`` instead.  ``mean_recall`` averages the per-request
+    recall proxy over served requests (NaN entries are skipped; NaN when
+    nothing was served or no proxy was recorded).
+    """
+
+    n_requests: int
+    n_served: int
+    shed_fraction: float
+    deadline_fraction: float
+    degraded_fraction: float
+    ok_fraction: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+    mean_latency_s: float
+    mean_recall: float
+
+    @property
+    def served_fraction(self) -> float:
+        """Complement of ``shed_fraction``."""
+        return self.n_served / self.n_requests if self.n_requests else 0.0
+
+
+def slo_stats(
+    outcomes: Sequence[str],
+    latencies_s: Sequence[float],
+    recalls: Optional[Sequence[float]] = None,
+) -> SloStats:
+    """Aggregate per-request outcomes into an :class:`SloStats` summary.
+
+    Parameters
+    ----------
+    outcomes:
+        One of :data:`REQUEST_OUTCOMES` per request.
+    latencies_s:
+        Arrival-to-completion seconds, parallel to ``outcomes``; entries
+        for shed requests are ignored (conventionally NaN).
+    recalls:
+        Optional per-request recall proxy in [0, 1], parallel to
+        ``outcomes``; NaN entries (and shed requests) are skipped.
+    """
+    if not outcomes:
+        raise ValueError("need at least one request outcome")
+    if len(latencies_s) != len(outcomes):
+        raise ValueError(
+            f"got {len(latencies_s)} latencies for {len(outcomes)} outcomes"
+        )
+    if recalls is not None and len(recalls) != len(outcomes):
+        raise ValueError(
+            f"got {len(recalls)} recalls for {len(outcomes)} outcomes"
+        )
+    unknown = sorted(set(outcomes) - set(REQUEST_OUTCOMES))
+    if unknown:
+        raise ValueError(f"unknown request outcomes: {unknown}")
+    n = len(outcomes)
+    served_lat = [
+        float(lat)
+        for outcome, lat in zip(outcomes, latencies_s)
+        if outcome != OUTCOME_SHED
+    ]
+    n_served = len(served_lat)
+    counts = {kind: 0 for kind in REQUEST_OUTCOMES}
+    for outcome in outcomes:
+        counts[outcome] += 1
+    if n_served:
+        p50 = percentile(served_lat, 0.50)
+        p95 = percentile(served_lat, 0.95)
+        p99 = percentile(served_lat, 0.99)
+        worst = max(served_lat)
+        mean_latency = sum(served_lat) / n_served
+    else:
+        p50 = p95 = p99 = worst = mean_latency = math.nan
+    mean_recall = math.nan
+    if recalls is not None:
+        usable = [
+            float(r)
+            for outcome, r in zip(outcomes, recalls)
+            if outcome != OUTCOME_SHED and not math.isnan(float(r))
+        ]
+        if usable:
+            mean_recall = sum(usable) / len(usable)
+    return SloStats(
+        n_requests=n,
+        n_served=n_served,
+        shed_fraction=counts[OUTCOME_SHED] / n,
+        deadline_fraction=counts[OUTCOME_DEADLINE] / n,
+        degraded_fraction=counts[OUTCOME_DEGRADED] / n,
+        ok_fraction=counts[OUTCOME_OK] / n,
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
+        max_s=worst,
+        mean_latency_s=mean_latency,
+        mean_recall=mean_recall,
+    )
 
 
 def robustness_stats(traces: Sequence[SearchTrace]) -> RobustnessStats:

@@ -30,6 +30,7 @@ __all__ = [
     "ExactCompletion",
     "MaxChunks",
     "TimeBudget",
+    "DeadlineBudget",
     "FirstOf",
 ]
 
@@ -130,6 +131,43 @@ class TimeBudget(StopRule):
 
     def __repr__(self) -> str:
         return f"TimeBudget({self.budget_s!r})"
+
+
+class DeadlineBudget(StopRule):
+    """Stop once the clock passes the *remaining* budget of a deadline.
+
+    The remaining-budget variant of :class:`TimeBudget`: a request that
+    arrived carrying an absolute deadline has, by the time its search
+    starts, only ``remaining_s`` seconds left, and the search must stop
+    as soon as the per-query clock crosses that remainder.  The rule is
+    mechanically identical to :class:`TimeBudget` but reports a distinct
+    ``deadline(...)`` stop reason, so a result trimmed to meet an SLO is
+    distinguishable from one trimmed by a configured time budget.
+
+    Like every stop rule it fires *after* the chunk whose completion
+    crossed the budget — a chunk is the granule of the search — so at
+    least one chunk is always scanned and the returned top-k is valid
+    (possibly degraded), never empty.
+
+    Composes with other rules via :class:`FirstOf`, e.g.
+    ``FirstOf([DeadlineBudget(remaining), MaxChunks(budget)])`` is the
+    per-request rule the query service installs.
+    """
+
+    def __init__(self, remaining_s: float):
+        if remaining_s <= 0 or math.isnan(remaining_s):
+            raise ValueError(
+                f"remaining deadline budget must be positive, got {remaining_s}"
+            )
+        self.remaining_s = float(remaining_s)
+
+    def check(self, progress: SearchProgress) -> Optional[str]:
+        if progress.elapsed_s >= self.remaining_s:
+            return f"deadline({self.remaining_s:g}s)"
+        return None
+
+    def __repr__(self) -> str:
+        return f"DeadlineBudget({self.remaining_s!r})"
 
 
 class FirstOf(StopRule):

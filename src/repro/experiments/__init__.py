@@ -11,7 +11,17 @@ process pays the data-build cost once; run-to-completion traces are also
 cached and shared by figures 2-5 and Table 2.
 """
 
-from . import ablations, chunk_size_sweep, fig1, quality_figures, table1, table2
+from . import (
+    ablations,
+    chunk_size_sweep,
+    faultsim,
+    fig1,
+    quality_figures,
+    servesim,
+    table1,
+    table2,
+)
+from .checkpoint import SweepCheckpoint
 from .chunk_size_sweep import run_fig6, run_fig7
 from .config import DEFAULT_SCALE, SIZE_CLASSES, TEST_SCALE, ExperimentScale, get_scale
 from .data import BuiltIndex, ExperimentData, clear_cache, prepare
@@ -21,6 +31,9 @@ from .results import FigureResult, TableResult
 __all__ = [
     "ablations",
     "chunk_size_sweep",
+    "faultsim",
+    "servesim",
+    "SweepCheckpoint",
     "fig1",
     "quality_figures",
     "table1",

@@ -15,12 +15,14 @@ irrelevant descriptors.  The "30 neighbors" series sits far above the
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import os
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..chunking.srtree_chunker import SRTreeChunker
 from ..core.batch_search import BatchChunkSearcher
 from ..core.chunk_index import build_chunk_index
 from ..core.trace import SearchTrace
+from .checkpoint import SweepCheckpoint
 from .data import ExperimentData
 from .results import FigureResult
 
@@ -64,7 +66,10 @@ def sweep_traces(
 
 
 def _sweep_figure(
-    data: ExperimentData, workload_name: str, experiment_id: str
+    data: ExperimentData,
+    workload_name: str,
+    experiment_id: str,
+    checkpoint_path: Optional[Union[str, os.PathLike]] = None,
 ) -> FigureResult:
     ladder = [
         leaf for leaf in data.scale.chunk_size_ladder
@@ -75,12 +80,37 @@ def _sweep_figure(
     def label(t: int) -> str:
         return "1 neighbor" if t == 1 else f"{t} neighbors"
 
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path,
+            meta={
+                "experiment": experiment_id,
+                "scale": data.scale.name,
+                "workload": workload_name,
+                "k": int(data.scale.k),
+                "n_queries_sweep": int(data.scale.n_queries_sweep),
+                "ladder": [int(leaf) for leaf in ladder],
+            },
+        )
     series: Dict[str, List[float]] = {label(t): [] for t in targets}
     for leaf in ladder:
-        traces = sweep_traces(data, leaf, workload_name)
+        key = f"leaf={int(leaf)}"
+        point = checkpoint.get(key) if checkpoint is not None else None
+        if point is None:
+            # Build-index + run-workload: the expensive, resumable granule.
+            traces = sweep_traces(data, leaf, workload_name)
+            point = {
+                label(target): sum(
+                    trace.time_to_find(target) for trace in traces
+                ) / len(traces)
+                for target in targets
+            }
+            if checkpoint is not None:
+                checkpoint.put(key, point)
+                point = checkpoint.get(key)
         for target in targets:
-            times = [trace.time_to_find(target) for trace in traces]
-            series[label(target)].append(sum(times) / len(times))
+            series[label(target)].append(float(point[label(target)]))  # type: ignore[index,call-overload]
     return FigureResult(
         experiment_id=experiment_id,
         title=(
@@ -94,9 +124,15 @@ def _sweep_figure(
     )
 
 
-def run_fig6(data: ExperimentData) -> FigureResult:
-    return _sweep_figure(data, "DQ", "fig6")
+def run_fig6(
+    data: ExperimentData,
+    checkpoint_path: Optional[Union[str, os.PathLike]] = None,
+) -> FigureResult:
+    return _sweep_figure(data, "DQ", "fig6", checkpoint_path)
 
 
-def run_fig7(data: ExperimentData) -> FigureResult:
-    return _sweep_figure(data, "SQ", "fig7")
+def run_fig7(
+    data: ExperimentData,
+    checkpoint_path: Optional[Union[str, os.PathLike]] = None,
+) -> FigureResult:
+    return _sweep_figure(data, "SQ", "fig7", checkpoint_path)

@@ -6,7 +6,9 @@ result flavors are supported:
 
 * :class:`~repro.experiments.results.TableResult` — one CSV/JSON table;
 * :class:`~repro.experiments.results.FigureResult` — long-form rows
-  ``(x, series, value)`` so any plotting library can pivot them.
+  ``(x, series, value)`` so any plotting library can pivot them;
+* :class:`~repro.experiments.servesim.ServesimResult` — one row per
+  ``(fault rate, load)`` grid cell, or the full deterministic report.
 """
 
 from __future__ import annotations
@@ -17,10 +19,11 @@ import json
 from typing import Union
 
 from .results import FigureResult, TableResult
+from .servesim import ServesimResult
 
 __all__ = ["to_csv", "to_json", "write_result"]
 
-Result = Union[TableResult, FigureResult]
+Result = Union[TableResult, FigureResult, ServesimResult]
 
 
 def _figure_rows(result: FigureResult):
@@ -39,6 +42,10 @@ def to_csv(result: Result) -> str:
     elif isinstance(result, FigureResult):
         writer.writerow([result.x_label, "series", "value"])
         writer.writerows(_figure_rows(result))
+    elif isinstance(result, ServesimResult):
+        headers = list(result.rows[0]) if result.rows else []
+        writer.writerow(headers)
+        writer.writerows([row[h] for h in headers] for row in result.rows)
     else:
         raise TypeError(f"cannot export {type(result).__name__}")
     return buffer.getvalue()
@@ -63,6 +70,8 @@ def to_json(result: Result) -> str:
             "x_values": list(result.x_values),
             "series": {name: list(values) for name, values in result.series.items()},
         }
+    elif isinstance(result, ServesimResult):
+        payload = dict(result.to_report(), kind="service-grid")
     else:
         raise TypeError(f"cannot export {type(result).__name__}")
     return json.dumps(payload, indent=2, default=float)

@@ -23,12 +23,14 @@ job asserts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.batch_search import BatchChunkSearcher
 from ..core.metrics import precision_at_k, robustness_stats
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
+from .checkpoint import SweepCheckpoint
 from .data import ExperimentData
 from .results import FigureResult
 
@@ -42,6 +44,15 @@ DEFAULT_RATES: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2, 0.35)
 DEFAULT_SEED = 2005
 
 
+_SERIES_NAMES = (
+    "recall",
+    "coverage",
+    "degraded_fraction",
+    "chunks_skipped",
+    "elapsed_ms",
+)
+
+
 def sweep(
     data: ExperimentData,
     family: str = "SR",
@@ -49,10 +60,32 @@ def sweep(
     workload_name: str = "DQ",
     rates: Sequence[float] = DEFAULT_RATES,
     seed: int = DEFAULT_SEED,
+    checkpoint_path: Optional[Union[str, os.PathLike]] = None,
 ) -> FigureResult:
-    """Run the exact search under each fault rate; returns the curves."""
+    """Run the exact search under each fault rate; returns the curves.
+
+    ``checkpoint_path`` enables point-by-point resume: each completed
+    rate is published atomically, and a rerun with the same arguments
+    skips rates the checkpoint already holds (a point is one whole
+    workload run, so this is the natural crash-recovery granule).
+    """
     if not rates:
         raise ValueError("need at least one fault rate")
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path,
+            meta={
+                "experiment": "faultsim",
+                "scale": data.scale.name,
+                "family": family,
+                "size_class": size_class,
+                "workload": workload_name,
+                "seed": int(seed),
+                "k": int(data.scale.k),
+                "n_queries": len(data.workloads[workload_name]),
+            },
+        )
     built = data.built(family, size_class)
     workload = data.workloads[workload_name]
     truth = data.ground_truth(size_class, workload_name)
@@ -61,32 +94,36 @@ def sweep(
     ]
     searcher = BatchChunkSearcher(built.index, cost_model=data.scale.cost_model)
 
-    series: Dict[str, List[float]] = {
-        "recall": [],
-        "coverage": [],
-        "degraded_fraction": [],
-        "chunks_skipped": [],
-        "elapsed_ms": [],
-    }
+    series: Dict[str, List[float]] = {name: [] for name in _SERIES_NAMES}
     for rate in rates:
-        plan = FaultPlan.balanced(float(rate), seed=seed)
-        faults = FaultInjector.from_cost_model(plan, data.scale.cost_model)
-        batch = searcher.search_batch(
-            workload.queries,
-            k=data.scale.k,
-            true_neighbor_ids=truth_lists,
-            faults=faults,
-        )
-        recalls = [
-            precision_at_k(result.neighbor_ids(), truth.get(i))
-            for i, result in enumerate(batch)
-        ]
-        stats = robustness_stats(batch.traces())
-        series["recall"].append(sum(recalls) / len(recalls))
-        series["coverage"].append(stats.mean_coverage)
-        series["degraded_fraction"].append(stats.degraded_fraction)
-        series["chunks_skipped"].append(stats.mean_chunks_skipped)
-        series["elapsed_ms"].append(stats.mean_elapsed_s * 1000.0)
+        key = f"rate={float(rate):g}"
+        point = checkpoint.get(key) if checkpoint is not None else None
+        if point is None:
+            plan = FaultPlan.balanced(float(rate), seed=seed)
+            faults = FaultInjector.from_cost_model(plan, data.scale.cost_model)
+            batch = searcher.search_batch(
+                workload.queries,
+                k=data.scale.k,
+                true_neighbor_ids=truth_lists,
+                faults=faults,
+            )
+            recalls = [
+                precision_at_k(result.neighbor_ids(), truth.get(i))
+                for i, result in enumerate(batch)
+            ]
+            stats = robustness_stats(batch.traces())
+            point = {
+                "recall": sum(recalls) / len(recalls),
+                "coverage": stats.mean_coverage,
+                "degraded_fraction": stats.degraded_fraction,
+                "chunks_skipped": stats.mean_chunks_skipped,
+                "elapsed_ms": stats.mean_elapsed_s * 1000.0,
+            }
+            if checkpoint is not None:
+                checkpoint.put(key, point)
+                point = checkpoint.get(key)  # the JSON round-tripped value
+        for name in _SERIES_NAMES:
+            series[name].append(float(point[name]))  # type: ignore[index,call-overload]
 
     return FigureResult(
         experiment_id="faultsim",
@@ -114,6 +151,7 @@ def report(
     rates: Sequence[float] = DEFAULT_RATES,
     seed: int = DEFAULT_SEED,
     figure: Optional[FigureResult] = None,
+    checkpoint_path: Optional[Union[str, os.PathLike]] = None,
 ) -> Dict[str, object]:
     """The sweep as a JSON-ready dict (the determinism-check artefact).
 
@@ -121,7 +159,10 @@ def report(
     (with matching arguments) instead of re-running the sweep.
     """
     if figure is None:
-        figure = sweep(data, family, size_class, workload_name, rates, seed)
+        figure = sweep(
+            data, family, size_class, workload_name, rates, seed,
+            checkpoint_path=checkpoint_path,
+        )
     return {
         "experiment": "faultsim",
         "scale": data.scale.name,

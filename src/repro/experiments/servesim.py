@@ -1,0 +1,270 @@
+"""Service simulation sweep: SLOs vs offered load vs fault rate.
+
+The paper's quality/time trade-off is measured one query at a time; this
+driver measures what the trade-off buys a *service*: a grid of
+``(fault rate x offered load)`` runs of the resilient query service
+(:class:`~repro.service.simulator.QueryService`), each reporting the
+latency percentiles, shed/degraded/deadline fractions and mean recall
+proxy of the full open-loop run.
+
+Loads are expressed as multiples of the pool's calibrated capacity — the
+measured mean fault-free completion time ``T`` gives a capacity of
+``n_workers / T`` queries per second, so a load factor of 2.0 offers
+twice what exact search could sustain — which keeps the sweep meaningful
+at any experiment scale.  The relative deadline and the controller's p99
+target are the same ``T`` scaled by fixed factors.
+
+Every run is a pure function of ``(scale, grid, seed)``; two sweeps with
+the same arguments emit byte-identical JSON reports (the CI smoke job
+asserts this, mirroring the fault-injection smoke).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.batch_search import BatchChunkSearcher
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..service import QueryService, ServiceConfig
+from .checkpoint import SweepCheckpoint
+from .data import ExperimentData
+from .report import format_table
+
+__all__ = [
+    "run",
+    "sweep",
+    "ServesimResult",
+    "DEFAULT_LOAD_FACTORS",
+    "DEFAULT_FAULT_RATES",
+    "DEFAULT_SEED",
+    "DEADLINE_FACTOR",
+    "TARGET_FACTOR",
+]
+
+#: Offered load as multiples of the pool's calibrated exact-search
+#: capacity: below saturation, at it, and far beyond it.
+DEFAULT_LOAD_FACTORS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+#: Fault rates crossed with the load axis (0 isolates pure overload).
+DEFAULT_FAULT_RATES: Tuple[float, ...] = (0.0, 0.1)
+
+#: Root seed (the paper's publication year, as in the fault sweep).
+DEFAULT_SEED = 2005
+
+#: Relative deadline as a multiple of the mean exact completion time.
+DEADLINE_FACTOR = 4.0
+
+#: Controller p99 target as a multiple of the mean exact completion time.
+TARGET_FACTOR = 3.0
+
+#: The per-cell metrics, in report order.
+_COLUMNS = (
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "shed_fraction",
+    "deadline_fraction",
+    "degraded_fraction",
+    "ok_fraction",
+    "mean_recall",
+    "final_budget",
+    "breaker_opens",
+    "utilization",
+)
+
+
+@dataclasses.dataclass
+class ServesimResult:
+    """The grid of service runs, as data.
+
+    ``rows[i]`` holds one ``(fault_rate, load_factor)`` cell: the cell
+    coordinates plus the :data:`_COLUMNS` metrics.  ``meta`` pins the
+    calibration (mean service time, capacity, deadline, target) shared
+    by every cell.
+    """
+
+    experiment_id: str
+    title: str
+    meta: Dict[str, object]
+    rows: List[Dict[str, object]]
+
+    def render(self) -> str:
+        headers = ["fault_rate", "load"] + list(_COLUMNS)
+        cells = [
+            [row["fault_rate"], row["load_factor"]]
+            + [row[column] for column in _COLUMNS]
+            for row in self.rows
+        ]
+        calibration = (
+            "calibration: mean exact completion "
+            f"{float(self.meta['mean_service_s']) * 1000.0:.2f} ms, "
+            f"capacity {float(self.meta['capacity_qps']):.2f} qps, "
+            f"deadline {float(self.meta['deadline_s']) * 1000.0:.2f} ms, "
+            f"p99 target {float(self.meta['target_p99_s']) * 1000.0:.2f} ms"
+        )
+        table = format_table(
+            headers,
+            cells,
+            title=f"[{self.experiment_id}] {self.title}",
+            precision=3,
+        )
+        return f"{table}\n{calibration}"
+
+    def to_report(self) -> Dict[str, object]:
+        """Deterministic JSON-ready dict (the CI smoke artefact)."""
+        return {
+            "experiment": self.experiment_id,
+            "meta": self.meta,
+            "rows": self.rows,
+        }
+
+
+def _calibrate(
+    searcher: BatchChunkSearcher, data: ExperimentData, workload_name: str
+) -> float:
+    """Mean exact (fault-free) completion seconds over the workload."""
+    batch = searcher.search_batch(
+        data.workloads[workload_name].queries, k=data.scale.k
+    )
+    return batch.mean_elapsed_s
+
+
+def sweep(
+    data: ExperimentData,
+    family: str = "SR",
+    size_class: str = "SMALL",
+    workload_name: str = "DQ",
+    load_factors: Sequence[float] = DEFAULT_LOAD_FACTORS,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    seed: int = DEFAULT_SEED,
+    n_workers: int = 4,
+    checkpoint_path: Optional[Union[str, os.PathLike]] = None,
+) -> ServesimResult:
+    """Run the service grid; one cell per ``(fault rate, load factor)``.
+
+    ``checkpoint_path`` enables point-by-point resume exactly as in the
+    fault sweep: each finished cell (and the calibration run) is
+    published atomically and skipped on rerun.
+    """
+    if not load_factors or not fault_rates:
+        raise ValueError("need at least one load factor and one fault rate")
+    if any(not load > 0.0 for load in load_factors):
+        raise ValueError("load factors must be positive")
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path,
+            meta={
+                "experiment": "servesim",
+                "scale": data.scale.name,
+                "family": family,
+                "size_class": size_class,
+                "workload": workload_name,
+                "seed": int(seed),
+                "k": int(data.scale.k),
+                "n_workers": int(n_workers),
+                "n_queries": len(data.workloads[workload_name]),
+            },
+        )
+    built = data.built(family, size_class)
+    workload = data.workloads[workload_name]
+    truth = data.ground_truth(size_class, workload_name)
+    truth_lists: List[Optional[Sequence[int]]] = [
+        truth.get(i) for i in range(len(workload))
+    ]
+    searcher = BatchChunkSearcher(built.index, cost_model=data.scale.cost_model)
+
+    baseline = checkpoint.get("baseline") if checkpoint is not None else None
+    if baseline is None:
+        baseline = _calibrate(searcher, data, workload_name)
+        if checkpoint is not None:
+            checkpoint.put("baseline", baseline)
+            baseline = checkpoint.get("baseline")
+    mean_service_s = float(baseline)  # type: ignore[arg-type]
+    capacity_qps = n_workers / mean_service_s
+    deadline_s = DEADLINE_FACTOR * mean_service_s
+    target_p99_s = TARGET_FACTOR * mean_service_s
+
+    rows: List[Dict[str, object]] = []
+    for fault_rate in fault_rates:
+        for load in load_factors:
+            key = f"fault={float(fault_rate):g}/load={float(load):g}"
+            cell = checkpoint.get(key) if checkpoint is not None else None
+            if cell is None:
+                config = ServiceConfig(
+                    n_workers=n_workers,
+                    deadline_s=deadline_s,
+                    target_p99_s=target_p99_s,
+                    arrival_rate_qps=float(load) * capacity_qps,
+                    seed=seed,
+                    k=data.scale.k,
+                    initial_service_estimate_s=mean_service_s,
+                    # Admit only what is predicted to finish within the
+                    # *target*, not the deadline — aligning the admission
+                    # horizon with the controller's goal.
+                    shed_slack=TARGET_FACTOR / DEADLINE_FACTOR,
+                )
+                faults = None
+                if fault_rate > 0.0:
+                    plan = FaultPlan.balanced(float(fault_rate), seed=seed)
+                    faults = FaultInjector.from_cost_model(
+                        plan, data.scale.cost_model
+                    )
+                service = QueryService(
+                    searcher, config, faults=faults,
+                    true_neighbor_ids=truth_lists,
+                )
+                result = service.run(workload.queries)
+                stats = result.stats
+                cell = {
+                    "fault_rate": float(fault_rate),
+                    "load_factor": float(load),
+                    "p50_ms": stats.p50_s * 1000.0,
+                    "p95_ms": stats.p95_s * 1000.0,
+                    "p99_ms": stats.p99_s * 1000.0,
+                    "shed_fraction": stats.shed_fraction,
+                    "deadline_fraction": stats.deadline_fraction,
+                    "degraded_fraction": stats.degraded_fraction,
+                    "ok_fraction": stats.ok_fraction,
+                    "mean_recall": stats.mean_recall,
+                    "final_budget": result.final_budget,
+                    "breaker_opens": result.breaker_opens,
+                    "utilization": result.utilization,
+                }
+                if checkpoint is not None:
+                    checkpoint.put(key, cell)
+                    cell = checkpoint.get(key)
+            rows.append(dict(cell))  # type: ignore[call-overload]
+
+    return ServesimResult(
+        experiment_id="servesim",
+        title=(
+            f"Service SLOs vs load and fault rate — {family}/{size_class}, "
+            f"{workload_name} workload, {n_workers} workers, seed {seed}"
+        ),
+        meta={
+            "scale": data.scale.name,
+            "family": family,
+            "size_class": size_class,
+            "workload": workload_name,
+            "seed": int(seed),
+            "k": int(data.scale.k),
+            "n_workers": int(n_workers),
+            "n_queries": len(workload),
+            "mean_service_s": mean_service_s,
+            "capacity_qps": capacity_qps,
+            "deadline_s": deadline_s,
+            "target_p99_s": target_p99_s,
+            "load_factors": [float(load) for load in load_factors],
+            "fault_rates": [float(rate) for rate in fault_rates],
+        },
+        rows=rows,
+    )
+
+
+def run(data: ExperimentData) -> ServesimResult:
+    """Default grid (``repro experiment servesim``)."""
+    return sweep(data)

@@ -99,8 +99,9 @@ class ChunkFaultOutcome:
 
     @property
     def retries(self) -> int:
-        """Attempts beyond the first."""
-        return self.attempts - 1
+        """Attempts beyond the first (0 when no read was ever attempted,
+        e.g. a chunk skipped by an open circuit breaker)."""
+        return max(0, self.attempts - 1)
 
     @property
     def faulted(self) -> bool:

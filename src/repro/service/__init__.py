@@ -1,0 +1,59 @@
+"""Resilient query service over the approximate chunk search.
+
+The paper establishes that any prefix of the ranked chunk scan is a
+valid (approximate) answer; this package exploits that property under
+simulated open-loop traffic, bounding tail latency by trading quality
+instead of failing requests.  Four cooperating mechanisms, one module
+each:
+
+* :mod:`~repro.service.deadline` — deadline propagation: the remaining
+  per-request budget becomes a stop rule at dispatch time;
+* :mod:`~repro.service.admission` — admission control: a bounded queue
+  plus predictive shedding, rejecting work before it costs anything;
+* :mod:`~repro.service.breaker` — per-chunk-region circuit breakers over
+  the fault injector, converting repeated retry ladders into skips;
+* :mod:`~repro.service.controller` — adaptive degradation: a p99
+  feedback loop on the default chunk budget.
+
+:class:`~repro.service.simulator.QueryService` wires them into one
+deterministic discrete-event simulation; runs are pure functions of
+``(index, workload, config, fault plan)``.
+"""
+
+from .admission import SHED_PREDICTED_LATE, SHED_QUEUE_FULL, AdmissionController
+from .breaker import (
+    BREAKER_OPEN,
+    BREAKER_SKIP_OUTCOME,
+    BreakerBoard,
+    BreakerGuardedInjector,
+    RegionBreaker,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+from .controller import AdaptiveBudgetController
+from .deadline import EXPIRED_BUDGET_S, propagated_stop_rule
+from .request import QueryRequest, RequestRecord, ServiceConfig
+from .simulator import QueryService, ServiceRunResult
+
+__all__ = [
+    "AdmissionController",
+    "SHED_QUEUE_FULL",
+    "SHED_PREDICTED_LATE",
+    "BREAKER_OPEN",
+    "BREAKER_SKIP_OUTCOME",
+    "RegionBreaker",
+    "BreakerBoard",
+    "BreakerGuardedInjector",
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "STATE_HALF_OPEN",
+    "AdaptiveBudgetController",
+    "EXPIRED_BUDGET_S",
+    "propagated_stop_rule",
+    "QueryRequest",
+    "RequestRecord",
+    "ServiceConfig",
+    "QueryService",
+    "ServiceRunResult",
+]

@@ -1,0 +1,217 @@
+"""Requests, per-request records, and the service configuration.
+
+A :class:`QueryRequest` is one workload query wrapped with traffic
+metadata: when it arrived and by when it must be answered.  The service
+never fails a request outright — the paper's quality/time knob means a
+late request can always be answered *worse* instead of *not at all* —
+so every request ends in exactly one of the four
+:data:`~repro.core.metrics.REQUEST_OUTCOMES`, captured in a
+:class:`RequestRecord`.
+
+:class:`ServiceConfig` bundles every tunable of the simulated service;
+it is frozen so a run is a pure function of ``(index, workload, config,
+fault plan)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = ["QueryRequest", "RequestRecord", "ServiceConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryRequest:
+    """One admitted unit of work.
+
+    Attributes
+    ----------
+    index:
+        Stable workload position of the query — also the fault-plan key,
+        so the same request sees the same faults regardless of when the
+        service happens to run it.
+    query:
+        The descriptor vector, shape ``(d,)`` float64.
+    arrival_s:
+        Simulated arrival time.
+    deadline_s:
+        Absolute simulated deadline (``arrival_s + relative deadline``).
+    """
+
+    index: int
+    query: np.ndarray
+    arrival_s: float
+    deadline_s: float
+
+    def remaining_s(self, now: float) -> float:
+        """Deadline budget left at ``now`` (negative once expired)."""
+        return self.deadline_s - now
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestRecord:
+    """Everything the service knows about one finished request.
+
+    ``outcome`` is one of :data:`~repro.core.metrics.REQUEST_OUTCOMES`.
+    Shed requests carry NaN timing fields (nothing ran) and a
+    ``stop_reason`` naming the shed cause (``"queue-full"`` or
+    ``"predicted-late"``).  ``recall`` is the per-request quality proxy:
+    the true-neighbor fraction when ground truth was supplied, otherwise
+    the scanned-coverage proxy; NaN for shed requests.
+    """
+
+    index: int
+    outcome: str
+    stop_reason: str
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    latency_s: float
+    wait_s: float
+    chunk_budget: int
+    chunks_read: int
+    chunks_skipped: int
+    breaker_skips: int
+    recall: float
+    worker: int = -1
+
+    @property
+    def served(self) -> bool:
+        """True when a search ran (every outcome except ``shed``)."""
+        return not math.isnan(self.start_s)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the simulated query service.
+
+    Attributes
+    ----------
+    n_workers:
+        Parallel searcher workers (simulated; results are engine- and
+        thread-count independent).
+    queue_capacity:
+        Admission queue bound; arrivals beyond it are shed outright.
+    deadline_s:
+        Relative deadline each request carries.
+    target_p99_s:
+        Latency the adaptive controller steers p99 towards; must not
+        exceed ``deadline_s`` (the deadline is the hard envelope, the
+        target is where the controller tries to sit below it).
+    arrival_rate_qps:
+        Open-loop Poisson arrival rate.
+    seed:
+        Root seed of the arrival process.
+    k:
+        Neighbors per query.
+    initial_chunk_budget:
+        Starting per-query chunk budget (0 = the whole index, i.e. the
+        controller starts from exact search and only degrades under
+        pressure).
+    min_chunk_budget:
+        Floor the controller never shrinks below (>= 1: a chunk is the
+        granule of the search, so one chunk is the worst legal answer).
+    adjust_every / latency_window / shrink_factor / grow_step / headroom:
+        Controller cadence and gains; see
+        :class:`~repro.service.controller.AdaptiveBudgetController`.
+    region_size:
+        Chunks per circuit-breaker region.
+    breaker_window / breaker_failure_threshold / breaker_cooldown_s /
+    breaker_probe_successes:
+        Breaker state machine; see
+        :class:`~repro.service.breaker.BreakerBoard`.
+    service_time_alpha:
+        EWMA gain of the admission controller's service-time estimate.
+    initial_service_estimate_s:
+        Seed of that estimate (a calibration baseline such as the mean
+        fault-free completion time); 0.0 falls back to ``deadline_s``,
+        the pessimistic choice that sheds aggressively until real
+        observations arrive.
+    shed_slack:
+        Admission sheds when the *estimated* completion time exceeds
+        ``arrival + shed_slack * deadline_s``; 1.0 sheds exactly at the
+        predicted deadline miss, larger values shed later (more
+        optimistic admission).
+    """
+
+    n_workers: int = 4
+    queue_capacity: int = 32
+    deadline_s: float = 0.5
+    target_p99_s: float = 0.45
+    arrival_rate_qps: float = 50.0
+    seed: int = 0
+    k: int = 10
+    # -- adaptive degradation controller
+    initial_chunk_budget: int = 0
+    min_chunk_budget: int = 1
+    adjust_every: int = 8
+    latency_window: int = 64
+    shrink_factor: float = 0.7
+    grow_step: int = 1
+    headroom: float = 0.6
+    # -- circuit breakers
+    region_size: int = 8
+    breaker_window: int = 16
+    breaker_failure_threshold: int = 4
+    breaker_cooldown_s: float = 1.0
+    breaker_probe_successes: int = 2
+    # -- admission control
+    service_time_alpha: float = 0.2
+    shed_slack: float = 1.0
+    initial_service_estimate_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        if self.deadline_s <= 0 or math.isnan(self.deadline_s):
+            raise ValueError("deadline must be positive")
+        if self.target_p99_s <= 0 or self.target_p99_s > self.deadline_s:
+            raise ValueError(
+                "target p99 must be positive and not exceed the deadline "
+                f"(got target {self.target_p99_s}, deadline {self.deadline_s})"
+            )
+        if not self.arrival_rate_qps > 0.0:
+            raise ValueError("arrival rate must be positive")
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.initial_chunk_budget < 0:
+            raise ValueError("initial chunk budget cannot be negative (0 = whole index)")
+        if self.min_chunk_budget < 1:
+            raise ValueError("minimum chunk budget must be at least 1")
+        if self.adjust_every < 1 or self.latency_window < 1:
+            raise ValueError("controller cadence parameters must be positive")
+        if not 0.0 < self.shrink_factor < 1.0:
+            raise ValueError("shrink factor must lie in (0, 1)")
+        if self.grow_step < 1:
+            raise ValueError("grow step must be positive")
+        if not 0.0 < self.headroom <= 1.0:
+            raise ValueError("headroom must lie in (0, 1]")
+        if self.region_size < 1:
+            raise ValueError("region size must be positive")
+        if self.breaker_window < 1 or self.breaker_failure_threshold < 1:
+            raise ValueError("breaker window/threshold must be positive")
+        if self.breaker_failure_threshold > self.breaker_window:
+            raise ValueError("breaker threshold cannot exceed its window")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        if self.breaker_probe_successes < 1:
+            raise ValueError("breaker probe successes must be positive")
+        if not 0.0 < self.service_time_alpha <= 1.0:
+            raise ValueError("service-time EWMA gain must lie in (0, 1]")
+        if self.shed_slack <= 0:
+            raise ValueError("shed slack must be positive")
+        if self.initial_service_estimate_s < 0 or math.isnan(
+            self.initial_service_estimate_s
+        ):
+            raise ValueError(
+                "initial service estimate cannot be negative (0 = deadline)"
+            )
+
+    def replace(self, **overrides: object) -> "ServiceConfig":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]

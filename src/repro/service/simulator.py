@@ -1,0 +1,383 @@
+"""The resilient query service: a deterministic discrete-event simulation.
+
+This module wires the four mechanisms — deadline propagation
+(:mod:`.deadline`), admission control (:mod:`.admission`), circuit
+breakers (:mod:`.breaker`) and adaptive degradation (:mod:`.controller`)
+— around one :class:`~repro.core.batch_search.BatchChunkSearcher` worker
+pool, fed by a seeded open-loop Poisson arrival stream.  Everything runs
+on the *simulated* clock: service durations come from the cost model
+(the paper's calibrated 2004 hardware), waits from the worker pool's
+queueing timeline, faults from the pure fault plan.  A run is therefore
+a pure function of ``(index, workload, config, fault plan)`` — replaying
+it with the same seeds reproduces every timestamp, shed decision,
+breaker trip and budget adjustment bit for bit.
+
+Event loop
+----------
+A binary heap of ``(time, priority, seq)`` events; completions sort
+before arrivals at equal timestamps (a freed worker is visible to work
+arriving "at the same instant"), and a monotone sequence number makes
+ordering total.  Two event kinds:
+
+* **arrival** — the admission controller decides shed-or-admit from the
+  queue length and the pool's next-free times; admitted requests enter
+  the FIFO queue and dispatch immediately if a worker is idle.
+* **completion** — the finished search's trace feeds the breaker board
+  and the admission EWMA, its latency feeds the degradation controller,
+  the record is written, and the freed worker pulls the next queued
+  request.
+
+Dispatch happens only at event instants, and a dispatched request always
+starts *now* (an idle worker's ``free_time <= now``), which is what lets
+the service compute the search's stop rule — a function of the remaining
+deadline and the controller's current budget — at dispatch time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batch_search import BatchChunkSearcher
+from ..core.metrics import (
+    OUTCOME_DEADLINE,
+    OUTCOME_DEGRADED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    SloStats,
+    precision_at_k,
+    slo_stats,
+)
+from ..core.search import SearchResult
+from ..faults.injector import FaultInjector
+from ..workloads.arrivals import poisson_arrival_times
+from ..simio.queueing import WorkerPool
+from .admission import AdmissionController
+from .breaker import BREAKER_OPEN, BreakerBoard, BreakerGuardedInjector
+from .controller import AdaptiveBudgetController
+from .deadline import propagated_stop_rule
+from .request import QueryRequest, RequestRecord, ServiceConfig
+
+__all__ = ["QueryService", "ServiceRunResult"]
+
+# Completion events sort before arrivals at the same timestamp.
+_EVT_COMPLETION = 0
+_EVT_ARRIVAL = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceRunResult:
+    """Everything one simulated-traffic run produced.
+
+    ``records`` is ordered by request index (= workload order), not by
+    completion time.  ``stats`` aggregates outcomes/latencies/recall via
+    :func:`~repro.core.metrics.slo_stats`.  ``budget_history`` is the
+    controller's ``(completion_count, budget)`` timeline (0 = unbounded);
+    ``breaker_state_counts`` is the final closed/open/half-open census.
+    """
+
+    config: ServiceConfig
+    records: List[RequestRecord]
+    stats: SloStats
+    budget_history: List[Tuple[int, int]]
+    final_budget: int
+    n_shrinks: int
+    n_grows: int
+    n_shed_full: int
+    n_shed_late: int
+    service_estimate_s: float
+    breaker_opens: int
+    breaker_state_counts: Dict[str, int]
+    breaker_skipped_chunks: int
+    makespan_s: float
+    utilization: float
+
+    def to_report(self) -> Dict[str, object]:
+        """Deterministic, JSON-ready summary (no per-request records)."""
+        stats = dataclasses.asdict(self.stats)
+        return {
+            "config": dataclasses.asdict(self.config),
+            "slo": stats,
+            "controller": {
+                "budget_history": [list(point) for point in self.budget_history],
+                "final_budget": self.final_budget,
+                "n_shrinks": self.n_shrinks,
+                "n_grows": self.n_grows,
+            },
+            "admission": {
+                "n_shed_full": self.n_shed_full,
+                "n_shed_late": self.n_shed_late,
+                "service_estimate_s": self.service_estimate_s,
+            },
+            "breakers": {
+                "opens": self.breaker_opens,
+                "state_counts": dict(sorted(self.breaker_state_counts.items())),
+                "skipped_chunks": self.breaker_skipped_chunks,
+            },
+            "makespan_s": self.makespan_s,
+            "utilization": self.utilization,
+        }
+
+
+class QueryService:
+    """Simulated resilient query service over one chunk index.
+
+    Parameters
+    ----------
+    searcher:
+        The (batched) search engine; each simulated worker runs one
+        request at a time through it.  The searcher is used one query
+        per call with the request's stable workload index as its fault
+        key, so fault draws match a whole-workload batch run.
+    config:
+        All service tunables; see :class:`~repro.service.request.ServiceConfig`.
+    faults:
+        Optional fault injector (PR 3); breaker decisions wrap it per
+        request via :class:`~repro.service.breaker.BreakerGuardedInjector`.
+    true_neighbor_ids:
+        Optional per-query ground-truth id lists; when given, a served
+        request's ``recall`` is true precision-at-k, otherwise the
+        descriptor-coverage proxy.
+    """
+
+    def __init__(
+        self,
+        searcher: BatchChunkSearcher,
+        config: ServiceConfig,
+        faults: Optional[FaultInjector] = None,
+        true_neighbor_ids: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ):
+        self.searcher = searcher
+        self.config = config
+        self.faults = faults
+        self.truth = true_neighbor_ids
+        self.n_chunks = searcher.index.n_chunks
+        self._total_descriptors = int(
+            np.asarray(searcher.index.descriptor_counts()).sum()
+        )
+
+    # -- per-request execution ----------------------------------------------
+
+    def _recall_of(self, request: QueryRequest, result: SearchResult) -> float:
+        """Per-request quality: true recall when ground truth is known,
+        else the fraction of the index's descriptors actually scanned
+        (1.0 for provably-exact answers: exactness needs no scanning
+        beyond the proof)."""
+        truth_ids = None if self.truth is None else self.truth[request.index]
+        if truth_ids is not None:
+            return precision_at_k(result.neighbor_ids().tolist(), truth_ids)
+        if result.completed:
+            return 1.0
+        if self._total_descriptors == 0:
+            return math.nan
+        return min(1.0, result.trace.descriptors_scanned / self._total_descriptors)
+
+    def _classify(self, stop_reason: str, result: SearchResult) -> str:
+        """Map a finished search onto the request-outcome vocabulary.
+
+        The deadline firing dominates (it is the SLO event), then
+        provable exactness, then everything quality-reduced (budget
+        trims, fault skips, breaker skips).
+        """
+        if stop_reason.startswith("deadline("):
+            return OUTCOME_DEADLINE
+        if result.completed:
+            return OUTCOME_OK
+        return OUTCOME_DEGRADED
+
+    def _run_request(
+        self, request: QueryRequest, start_s: float, board: BreakerBoard,
+        chunk_budget: int,
+    ) -> SearchResult:
+        """Execute one request's search as of ``start_s`` (simulated)."""
+        rule = propagated_stop_rule(
+            request.remaining_s(start_s), chunk_budget, self.n_chunks
+        )
+        guarded = BreakerGuardedInjector(
+            self.faults, board, board.blocked_regions(start_s)
+        )
+        truth_entry = None
+        if self.truth is not None:
+            truth_entry = self.truth[request.index]
+        batch = self.searcher.search_batch(
+            request.query,
+            k=self.config.k,
+            stop_rule=rule,
+            true_neighbor_ids=None if truth_entry is None else [truth_entry],
+            faults=None if guarded.is_null else guarded,  # type: ignore[arg-type]
+            query_indices=[request.index],
+        )
+        return batch[0]
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, queries: np.ndarray) -> ServiceRunResult:
+        """Simulate the whole open-loop run over ``queries``.
+
+        ``queries`` is the ``(n, d)`` workload matrix; request ``i``
+        carries query ``i`` and arrives at the seeded Poisson schedule's
+        ``times_s[i]``.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[0] == 0:
+            raise ValueError(
+                f"queries must be a non-empty (n, d) matrix, got {queries.shape}"
+            )
+        if self.truth is not None and len(self.truth) != queries.shape[0]:
+            raise ValueError(
+                f"got {len(self.truth)} ground-truth lists "
+                f"for {queries.shape[0]} queries"
+            )
+        config = self.config
+        schedule = poisson_arrival_times(
+            queries.shape[0], config.arrival_rate_qps, config.seed
+        )
+        pool = WorkerPool(config.n_workers)
+        admission = AdmissionController(
+            queue_capacity=config.queue_capacity,
+            initial_service_estimate_s=(
+                config.initial_service_estimate_s or config.deadline_s
+            ),
+            alpha=config.service_time_alpha,
+            shed_slack=config.shed_slack,
+        )
+        board = BreakerBoard(
+            n_chunks=self.n_chunks,
+            region_size=config.region_size,
+            window=config.breaker_window,
+            failure_threshold=config.breaker_failure_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+            probe_successes=config.breaker_probe_successes,
+        )
+        controller = AdaptiveBudgetController(
+            initial_budget=config.initial_chunk_budget,
+            n_chunks=self.n_chunks,
+            min_budget=config.min_chunk_budget,
+            target_p99_s=config.target_p99_s,
+            adjust_every=config.adjust_every,
+            latency_window=config.latency_window,
+            shrink_factor=config.shrink_factor,
+            grow_step=config.grow_step,
+            headroom=config.headroom,
+        )
+
+        # (time, priority, seq) heap; payloads keyed by seq.  Completions
+        # (priority 0) beat arrivals (priority 1) at equal times.
+        events: List[Tuple[float, int, int]] = []
+        payloads: Dict[int, Any] = {}
+        seq = 0
+        queue: List[QueryRequest] = []  # FIFO via pop(0); bounded, so cheap
+        records: List[Optional[RequestRecord]] = [None] * queries.shape[0]
+        breaker_skipped_chunks = 0
+        makespan = 0.0
+
+        for i in range(queries.shape[0]):
+            arrival = float(schedule.times_s[i])
+            request = QueryRequest(
+                index=i,
+                query=queries[i],
+                arrival_s=arrival,
+                deadline_s=arrival + config.deadline_s,
+            )
+            heapq.heappush(events, (arrival, _EVT_ARRIVAL, seq))
+            payloads[seq] = request
+            seq += 1
+
+        def dispatch(now: float) -> None:
+            nonlocal seq, breaker_skipped_chunks
+            while queue and pool.idle_workers(now) > 0:
+                request = queue.pop(0)
+                chunk_budget = controller.budget
+                result = self._run_request(request, now, board, chunk_budget)
+                duration = result.elapsed_s
+                worker, start, finish = pool.assign(now, duration)
+                heapq.heappush(events, (finish, _EVT_COMPLETION, seq))
+                payloads[seq] = (request, result, start, worker, chunk_budget)
+                seq += 1
+
+        while events:
+            now, priority, evt_seq = heapq.heappop(events)
+            payload = payloads.pop(evt_seq)
+            if priority == _EVT_ARRIVAL:
+                request = payload
+                admit, shed_reason = admission.decide(
+                    request, now, pool.free_times(), len(queue)
+                )
+                if not admit:
+                    records[request.index] = RequestRecord(
+                        index=request.index,
+                        outcome=OUTCOME_SHED,
+                        stop_reason=shed_reason,
+                        arrival_s=request.arrival_s,
+                        start_s=math.nan,
+                        finish_s=math.nan,
+                        latency_s=math.nan,
+                        wait_s=math.nan,
+                        chunk_budget=0,
+                        chunks_read=0,
+                        chunks_skipped=0,
+                        breaker_skips=0,
+                        recall=math.nan,
+                    )
+                    continue
+                queue.append(request)
+                dispatch(now)
+            else:
+                request, result, start, worker, chunk_budget = payload
+                makespan = max(makespan, now)
+                duration = now - start
+                board.observe_trace(result.trace.events, now)
+                admission.observe_service_time(duration)
+                latency = now - request.arrival_s
+                controller.observe(latency)
+                breaker_skips = sum(
+                    1 for e in result.trace.events if e.fault == BREAKER_OPEN
+                )
+                breaker_skipped_chunks += breaker_skips
+                records[request.index] = RequestRecord(
+                    index=request.index,
+                    outcome=self._classify(result.stop_reason, result),
+                    stop_reason=result.stop_reason,
+                    arrival_s=request.arrival_s,
+                    start_s=start,
+                    finish_s=now,
+                    latency_s=latency,
+                    wait_s=start - request.arrival_s,
+                    chunk_budget=chunk_budget,
+                    chunks_read=result.chunks_read,
+                    chunks_skipped=result.chunks_skipped,
+                    breaker_skips=breaker_skips,
+                    recall=self._recall_of(request, result),
+                    worker=worker,
+                )
+                dispatch(now)
+
+        done = [record for record in records if record is not None]
+        assert len(done) == queries.shape[0], "every request must be recorded"
+        stats = slo_stats(
+            [record.outcome for record in done],
+            [record.latency_s for record in done],
+            [record.recall for record in done],
+        )
+        horizon = makespan if makespan > 0.0 else schedule.span_s
+        return ServiceRunResult(
+            config=config,
+            records=done,
+            stats=stats,
+            budget_history=list(controller.history),
+            final_budget=controller.budget,
+            n_shrinks=controller.n_shrinks,
+            n_grows=controller.n_grows,
+            n_shed_full=admission.n_shed_full,
+            n_shed_late=admission.n_shed_late,
+            service_estimate_s=admission.service_estimate_s,
+            breaker_opens=board.total_opens,
+            breaker_state_counts=board.state_counts(),
+            breaker_skipped_chunks=breaker_skipped_chunks,
+            makespan_s=horizon,
+            utilization=pool.utilization(horizon) if horizon > 0.0 else 0.0,
+        )

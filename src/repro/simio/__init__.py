@@ -24,8 +24,10 @@ from .clock import Clock, SimulatedClock, WallClock
 from .cpu_model import CpuModel
 from .disk_model import DiskModel
 from .pipeline import CostModel, PipelineSimulator
+from .queueing import WorkerPool
 
 __all__ = [
+    "WorkerPool",
     "LruPageCache",
     "cached_read_time_s",
     "PAPER_2005_COST_MODEL",

@@ -7,6 +7,7 @@ patterns with heavy-tailed popularity plus background clutter);
 SQ (space-query) workloads over any collection.
 """
 
+from .arrivals import ArrivalSchedule, poisson_arrival_times
 from .queries import (
     DEFAULT_TRIM_FRACTION,
     Workload,
@@ -17,6 +18,8 @@ from .queries import (
 from .synthetic import SyntheticImageConfig, generate_collection
 
 __all__ = [
+    "ArrivalSchedule",
+    "poisson_arrival_times",
     "DEFAULT_TRIM_FRACTION",
     "Workload",
     "dataset_queries",

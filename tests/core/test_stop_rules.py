@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.core.stop_rules import (
+    DeadlineBudget,
     ExactCompletion,
     FirstOf,
     MaxChunks,
@@ -70,6 +71,45 @@ class TestTimeBudget:
             TimeBudget(0.0)
         with pytest.raises(ValueError):
             TimeBudget(float("nan"))
+
+
+class TestDeadlineBudget:
+    def test_fires_when_remaining_budget_crossed(self):
+        rule = DeadlineBudget(0.2)
+        assert rule.check(progress(elapsed_s=0.19)) is None
+        assert rule.check(progress(elapsed_s=0.2)) == "deadline(0.2s)"
+        assert rule.check(progress(elapsed_s=1.0)) is not None
+
+    def test_reason_is_distinct_from_time_budget(self):
+        deadline = DeadlineBudget(0.1).check(progress(elapsed_s=0.5))
+        budget = TimeBudget(0.1).check(progress(elapsed_s=0.5))
+        assert deadline is not None and budget is not None
+        assert deadline.startswith("deadline(")
+        assert budget.startswith("time-budget(")
+        assert deadline != budget
+
+    def test_epsilon_budget_fires_after_first_chunk(self):
+        # The expired-in-queue path: any real chunk completion crosses it.
+        rule = DeadlineBudget(1e-9)
+        assert rule.check(progress(chunks_read=1, elapsed_s=1e-6)) is not None
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget(0.0)
+        with pytest.raises(ValueError):
+            DeadlineBudget(-1.0)
+        with pytest.raises(ValueError):
+            DeadlineBudget(float("nan"))
+
+    def test_composes_with_max_chunks(self):
+        rule = FirstOf([DeadlineBudget(0.5), MaxChunks(3)])
+        assert rule.check(progress(chunks_read=3, elapsed_s=0.1)) == "max-chunks(3)"
+        assert rule.check(progress(chunks_read=1, elapsed_s=0.6)) == (
+            "deadline(0.5s)"
+        )
+
+    def test_repr(self):
+        assert "0.25" in repr(DeadlineBudget(0.25))
 
 
 class TestFirstOf:

@@ -1,0 +1,141 @@
+"""Tests for sweep checkpointing: atomic persistence and mid-run resume.
+
+The headline test kills a fault sweep midway (the second point's
+``FaultPlan.balanced`` raises), then resumes against the checkpoint and
+proves the surviving point is read back instead of recomputed — with
+series bit-identical to an uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import chunk_size_sweep, faultsim
+from repro.experiments.checkpoint import SweepCheckpoint
+
+META = {"experiment": "unit-test", "seed": 7, "grid": (1, 2)}
+
+
+class TestSweepCheckpoint:
+    def test_round_trip_through_json(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "c.json", META)
+        assert len(ckpt) == 0 and ckpt.resumed_points == 0
+        assert ckpt.get("p") is None and "p" not in ckpt
+        ckpt.put("p", {"x": 1.5, "grid": (3, 4)})
+        assert "p" in ckpt and len(ckpt) == 1
+        # Values live in the serialized domain from the moment of put:
+        # tuples become lists, floats stay bit-identical.
+        assert ckpt.get("p") == {"x": 1.5, "grid": [3, 4]}
+
+    def test_reopen_resumes_stored_points(self, tmp_path):
+        path = tmp_path / "c.json"
+        first = SweepCheckpoint(path, META)
+        first.put("a", 1.0)
+        first.put("b", [2.0, 3.0])
+        reopened = SweepCheckpoint(path, META)
+        assert reopened.resumed_points == 2
+        assert reopened.get("a") == 1.0
+        assert reopened.get("b") == [2.0, 3.0]
+
+    def test_meta_mismatch_starts_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        SweepCheckpoint(path, META).put("a", 1.0)
+        other = SweepCheckpoint(path, {**META, "seed": 8})
+        assert len(other) == 0 and other.resumed_points == 0
+        # The first put replaces the stale file wholesale.
+        other.put("b", 2.0)
+        fresh = SweepCheckpoint(path, {**META, "seed": 8})
+        assert fresh.get("a") is None
+        assert fresh.get("b") == 2.0
+
+    def test_unknown_format_is_ignored(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"format": "something-else", "points": {"a": 1}}))
+        assert len(SweepCheckpoint(path, META)) == 0
+
+    def test_file_is_plain_sorted_json(self, tmp_path):
+        path = tmp_path / "c.json"
+        SweepCheckpoint(path, META).put("a", {"v": 1})
+        stored = json.loads(path.read_text())
+        assert stored["format"] == "repro-sweep-checkpoint-v1"
+        assert stored["meta"] == json.loads(json.dumps(META))
+        assert stored["points"] == {"a": {"v": 1}}
+        assert path.read_text() == json.dumps(stored, sort_keys=True, indent=2)
+
+
+RATES = (0.0, 0.2)
+SWEEP_ARGS = dict(family="SR", size_class="SMALL", workload_name="DQ", seed=7)
+
+
+@pytest.fixture(scope="module")
+def fresh_sweep(experiment_data):
+    """An uninterrupted, checkpoint-free run — the ground truth."""
+    return faultsim.sweep(experiment_data, rates=RATES, **SWEEP_ARGS)
+
+
+class TestFaultsimKillMidway:
+    def test_kill_resume_matches_uninterrupted_run(
+        self, experiment_data, tmp_path, monkeypatch, fresh_sweep
+    ):
+        path = tmp_path / "faultsim.ckpt.json"
+        real_plan = faultsim.FaultPlan
+
+        class KillOnSecondPoint:
+            calls = 0
+
+            @classmethod
+            def balanced(cls, rate, seed):
+                cls.calls += 1
+                if cls.calls == 2:
+                    raise RuntimeError("simulated mid-sweep kill")
+                return real_plan.balanced(rate, seed=seed)
+
+        monkeypatch.setattr(faultsim, "FaultPlan", KillOnSecondPoint)
+        with pytest.raises(RuntimeError, match="mid-sweep kill"):
+            faultsim.sweep(
+                experiment_data, rates=RATES, checkpoint_path=path, **SWEEP_ARGS
+            )
+        assert KillOnSecondPoint.calls == 2
+        # The completed point was published atomically before the crash.
+        assert len(json.loads(path.read_text())["points"]) == 1
+
+        class CountingPlan:
+            calls = 0
+
+            @classmethod
+            def balanced(cls, rate, seed):
+                cls.calls += 1
+                return real_plan.balanced(rate, seed=seed)
+
+        monkeypatch.setattr(faultsim, "FaultPlan", CountingPlan)
+        resumed = faultsim.sweep(
+            experiment_data, rates=RATES, checkpoint_path=path, **SWEEP_ARGS
+        )
+        assert CountingPlan.calls == 1  # only the killed point is recomputed
+        assert resumed.x_values == fresh_sweep.x_values
+        assert resumed.series == fresh_sweep.series
+
+        CountingPlan.calls = 0
+        again = faultsim.sweep(
+            experiment_data, rates=RATES, checkpoint_path=path, **SWEEP_ARGS
+        )
+        assert CountingPlan.calls == 0  # complete checkpoint: no work at all
+        assert again.series == fresh_sweep.series
+
+
+class TestChunkSizeSweepResume:
+    def test_resume_never_recomputes_traces(
+        self, experiment_data, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "fig6.ckpt.json"
+        fresh = chunk_size_sweep.run_fig6(experiment_data, checkpoint_path=path)
+
+        def refuse(*args, **kwargs):
+            raise AssertionError("sweep_traces must not run on resume")
+
+        # Poisoning the trace sweep proves the checkpoint — not the
+        # in-process trace cache — is what skips the recompute.
+        monkeypatch.setattr(chunk_size_sweep, "sweep_traces", refuse)
+        resumed = chunk_size_sweep.run_fig6(experiment_data, checkpoint_path=path)
+        assert resumed.x_values == fresh.x_values
+        assert resumed.series == fresh.series

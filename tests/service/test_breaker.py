@@ -1,0 +1,224 @@
+"""Tests for the per-chunk-region circuit breakers."""
+
+import pytest
+
+from repro.core.trace import TraceEvent
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_CORRUPT,
+    FAULT_READ_ERROR,
+    OK_OUTCOME,
+    FaultPlan,
+)
+from repro.service.breaker import (
+    BREAKER_OPEN,
+    BREAKER_SKIP_OUTCOME,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    BreakerGuardedInjector,
+    RegionBreaker,
+)
+from repro.simio.calibration import PAPER_2005_COST_MODEL
+
+
+def breaker(**overrides):
+    defaults = dict(window=4, failure_threshold=2, cooldown_s=1.0, probe_successes=2)
+    defaults.update(overrides)
+    return RegionBreaker(**defaults)
+
+
+def event(chunk_id, *, skipped=False, fault="none", rank=1):
+    return TraceEvent(
+        chunk_id=chunk_id,
+        rank=rank,
+        elapsed_s=0.1,
+        n_descriptors=10,
+        neighbors_found=3,
+        kth_distance=1.0,
+        skipped=skipped,
+        fault=fault,
+    )
+
+
+class TestRegionBreaker:
+    def test_trips_at_threshold(self):
+        b = breaker()
+        b.record(False, 0.0)
+        assert b.state == STATE_CLOSED
+        b.record(False, 0.1)
+        assert b.state == STATE_OPEN
+        assert b.opened_at_s == 0.1
+        assert b.open_count == 1
+
+    def test_open_blocks_until_cooldown(self):
+        b = breaker(cooldown_s=1.0)
+        b.record(False, 0.0)
+        b.record(False, 0.0)
+        assert not b.allow(0.5)
+        assert b.state == STATE_OPEN
+        assert b.allow(1.0)  # cooldown elapsed -> half-open probe
+        assert b.state == STATE_HALF_OPEN
+
+    def test_half_open_failure_retrips(self):
+        b = breaker(cooldown_s=1.0)
+        b.record(False, 0.0)
+        b.record(False, 0.0)
+        assert b.allow(1.5)
+        b.record(False, 1.5)
+        assert b.state == STATE_OPEN
+        assert b.opened_at_s == 1.5  # the cooldown restarts
+        assert b.open_count == 2
+
+    def test_half_open_probes_close(self):
+        b = breaker(cooldown_s=1.0, probe_successes=2)
+        b.record(False, 0.0)
+        b.record(False, 0.0)
+        assert b.allow(1.0)
+        b.record(True, 1.1)
+        assert b.state == STATE_HALF_OPEN
+        b.record(True, 1.2)
+        assert b.state == STATE_CLOSED
+        assert b.allow(1.3)
+
+    def test_rolling_window_forgets_old_failures(self):
+        b = breaker(window=3, failure_threshold=2)
+        b.record(False, 0.0)
+        b.record(True, 0.1)
+        b.record(True, 0.2)
+        b.record(True, 0.3)  # the failure has rolled out of the window
+        b.record(False, 0.4)
+        assert b.state == STATE_CLOSED
+
+    def test_observations_while_open_are_stale(self):
+        b = breaker(cooldown_s=10.0)
+        b.record(False, 0.0)
+        b.record(False, 0.0)
+        b.record(True, 0.5)  # a pre-trip request completing late
+        b.record(False, 0.6)
+        assert b.state == STATE_OPEN
+        assert b.open_count == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window=0),
+            dict(failure_threshold=0),
+            dict(window=2, failure_threshold=3),
+            dict(cooldown_s=0.0),
+            dict(probe_successes=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            breaker(**kwargs)
+
+
+class TestBreakerBoard:
+    def test_region_mapping(self):
+        board = BreakerBoard(n_chunks=10, region_size=4)
+        assert board.n_regions == 3
+        assert board.region_of(0) == 0
+        assert board.region_of(3) == 0
+        assert board.region_of(4) == 1
+        assert board.region_of(9) == 2
+        with pytest.raises(ValueError, match="out of range"):
+            board.region_of(10)
+        with pytest.raises(ValueError, match="out of range"):
+            board.region_of(-1)
+
+    def test_observe_trace_trips_a_region(self):
+        board = BreakerBoard(
+            n_chunks=8, region_size=4, window=4, failure_threshold=2
+        )
+        events = [
+            event(0, skipped=True, fault=FAULT_READ_ERROR, rank=1),
+            event(1, skipped=True, fault=FAULT_CORRUPT, rank=2),
+            event(4, rank=3),
+        ]
+        board.observe_trace(events, now=1.0)
+        assert board.blocked_regions(1.0) == frozenset({0})
+        assert board.total_opens == 1
+        counts = board.state_counts()
+        assert counts[STATE_OPEN] == 1
+        assert counts[STATE_CLOSED] == 1
+
+    def test_breaker_skips_are_not_observations(self):
+        board = BreakerBoard(
+            n_chunks=4, region_size=4, window=4, failure_threshold=2
+        )
+        board.observe_trace(
+            [
+                event(0, skipped=True, fault=BREAKER_OPEN, rank=1),
+                event(1, skipped=True, fault=BREAKER_OPEN, rank=2),
+            ],
+            now=0.0,
+        )
+        assert board.blocked_regions(0.0) == frozenset()
+        assert board.total_opens == 0
+
+    def test_retried_success_counts_as_success(self):
+        board = BreakerBoard(
+            n_chunks=4, region_size=4, window=4, failure_threshold=2
+        )
+        # A processed (not skipped) chunk that saw a transient fault is a
+        # delivery, not a failure.
+        board.observe_trace(
+            [
+                event(0, skipped=False, fault=FAULT_READ_ERROR, rank=1),
+                event(1, skipped=False, fault=FAULT_READ_ERROR, rank=2),
+            ],
+            now=0.0,
+        )
+        assert board.blocked_regions(0.0) == frozenset()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="chunk"):
+            BreakerBoard(n_chunks=0, region_size=4)
+        with pytest.raises(ValueError, match="region"):
+            BreakerBoard(n_chunks=4, region_size=0)
+
+
+class TestBreakerGuardedInjector:
+    def test_blocked_region_short_circuits(self):
+        board = BreakerBoard(n_chunks=8, region_size=4)
+        inner = FaultInjector.from_cost_model(
+            FaultPlan(seed=1, read_error_rate=1.0), PAPER_2005_COST_MODEL
+        )
+        guarded = BreakerGuardedInjector(inner, board, frozenset({0}))
+        outcome = guarded.outcome(0, 2, page_count=3)
+        assert outcome is BREAKER_SKIP_OUTCOME
+        assert not outcome.ok
+        assert outcome.kind == BREAKER_OPEN
+        assert outcome.attempts == 0 and outcome.retries == 0
+        assert outcome.extra_io_s == 0.0  # the whole point: no retry ladder
+
+    def test_unblocked_chunks_delegate(self):
+        board = BreakerBoard(n_chunks=8, region_size=4)
+        inner = FaultInjector.from_cost_model(
+            FaultPlan(seed=1, read_error_rate=1.0), PAPER_2005_COST_MODEL
+        )
+        guarded = BreakerGuardedInjector(inner, board, frozenset({0}))
+        assert guarded.outcome(0, 5, page_count=3) == inner.outcome(
+            0, 5, 3
+        )
+
+    def test_no_inner_injector_passes_clean(self):
+        board = BreakerBoard(n_chunks=8, region_size=4)
+        guarded = BreakerGuardedInjector(None, board, frozenset({1}))
+        assert guarded.outcome(0, 0, page_count=1) is OK_OUTCOME
+        assert guarded.outcome(0, 5, page_count=1) is BREAKER_SKIP_OUTCOME
+
+    def test_is_null(self):
+        board = BreakerBoard(n_chunks=8, region_size=4)
+        null_inner = FaultInjector.from_cost_model(
+            FaultPlan(seed=1), PAPER_2005_COST_MODEL
+        )
+        assert BreakerGuardedInjector(None, board, frozenset()).is_null
+        assert BreakerGuardedInjector(null_inner, board, frozenset()).is_null
+        assert not BreakerGuardedInjector(None, board, frozenset({0})).is_null
+        live_inner = FaultInjector.from_cost_model(
+            FaultPlan(seed=1, read_error_rate=0.5), PAPER_2005_COST_MODEL
+        )
+        assert not BreakerGuardedInjector(live_inner, board, frozenset()).is_null

@@ -1,0 +1,152 @@
+"""Tests for the adaptive degradation (chunk budget) controller."""
+
+import math
+
+import pytest
+
+from repro.service.controller import AdaptiveBudgetController
+
+
+def controller(**overrides):
+    defaults = dict(
+        initial_budget=0,
+        n_chunks=100,
+        min_budget=1,
+        target_p99_s=1.0,
+        adjust_every=4,
+        latency_window=16,
+        shrink_factor=0.5,
+        grow_step=2,
+        headroom=0.6,
+    )
+    defaults.update(overrides)
+    return AdaptiveBudgetController(**defaults)
+
+
+def feed(ctl, latency, n):
+    for _ in range(n):
+        ctl.observe(latency)
+
+
+class TestBudgetSemantics:
+    def test_zero_initial_budget_means_whole_index(self):
+        ctl = controller(initial_budget=0)
+        assert ctl.budget == 0
+        assert ctl.effective_budget == 100
+
+    def test_bounded_initial_budget(self):
+        ctl = controller(initial_budget=30)
+        assert ctl.budget == 30
+        assert ctl.effective_budget == 30
+
+    def test_history_starts_with_initial_setting(self):
+        assert controller().history == [(0, 0)]
+        assert controller(initial_budget=30).history == [(0, 30)]
+
+
+class TestShrink:
+    def test_high_p99_shrinks_multiplicatively(self):
+        ctl = controller()
+        feed(ctl, 2.0, 4)  # p99 = 2.0 > target 1.0
+        assert ctl.effective_budget == max(1, min(99, int(100 * 0.5)))
+        assert ctl.effective_budget == 50
+        assert ctl.n_shrinks == 1
+        assert ctl.history[-1] == (4, 50)
+
+    def test_shrink_always_drops_at_least_one_chunk(self):
+        # At budget 2 with factor 0.9, int(2 * 0.9) == 1 < 2 - 1... use a
+        # factor where the multiplicative step would round to a no-op.
+        ctl = controller(initial_budget=10, shrink_factor=0.99)
+        feed(ctl, 2.0, 4)
+        assert ctl.effective_budget == 9  # min(10 - 1, int(9.9)) = 9
+
+    def test_shrink_respects_floor(self):
+        ctl = controller(initial_budget=2, min_budget=2)
+        feed(ctl, 2.0, 8)
+        assert ctl.effective_budget == 2
+        assert ctl.n_shrinks == 0  # clamped: never moved, never counted
+
+    def test_repeated_overload_reaches_floor(self):
+        ctl = controller()
+        feed(ctl, 2.0, 400)
+        assert ctl.effective_budget == 1
+        assert ctl.budget == 1
+
+
+class TestGrowAndDeadBand:
+    def test_low_p99_grows_additively(self):
+        ctl = controller(initial_budget=30)
+        feed(ctl, 0.1, 4)  # p99 = 0.1 <= 0.6 * 1.0
+        assert ctl.effective_budget == 32
+        assert ctl.n_grows == 1
+
+    def test_dead_band_holds(self):
+        # Between headroom * target (0.6) and target (1.0): no change.
+        ctl = controller(initial_budget=30)
+        feed(ctl, 0.8, 16)
+        assert ctl.effective_budget == 30
+        assert ctl.n_shrinks == 0 and ctl.n_grows == 0
+        assert ctl.history == [(0, 30)]
+
+    def test_growth_caps_at_whole_index(self):
+        ctl = controller(initial_budget=99, grow_step=5)
+        feed(ctl, 0.1, 4)
+        assert ctl.effective_budget == 100
+        assert ctl.budget == 0  # reported as unbounded again
+
+    def test_recovery_after_overload(self):
+        # A window no longer than the cadence, so each decision sees only
+        # post-recovery latencies once the load drops.
+        ctl = controller(latency_window=4)
+        feed(ctl, 2.0, 8)
+        shrunk = ctl.effective_budget
+        assert shrunk == 25  # 100 -> 50 -> 25
+        feed(ctl, 0.1, 8)
+        assert ctl.effective_budget == 29  # 25 -> 27 -> 29
+        assert ctl.n_shrinks == 2 and ctl.n_grows == 2
+
+
+class TestObservation:
+    def test_adjusts_only_every_nth_completion(self):
+        ctl = controller(adjust_every=4)
+        feed(ctl, 2.0, 3)
+        assert ctl.effective_budget == 100  # not yet
+        ctl.observe(2.0)
+        assert ctl.effective_budget == 50
+
+    def test_window_p99_nearest_rank(self):
+        ctl = controller(latency_window=8)
+        for latency in (0.1, 0.2, 0.3):
+            ctl.observe(latency)
+        assert ctl.window_p99_s() == 0.3
+
+    def test_empty_window_p99_is_nan(self):
+        assert math.isnan(controller().window_p99_s())
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            controller().observe(-0.1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_chunks=0),
+            dict(initial_budget=-1),
+            dict(initial_budget=101),
+            dict(min_budget=0),
+            dict(min_budget=101),
+            dict(target_p99_s=0.0),
+            dict(adjust_every=0),
+            dict(latency_window=0),
+            dict(shrink_factor=0.0),
+            dict(shrink_factor=1.0),
+            dict(grow_step=0),
+            dict(headroom=0.0),
+            dict(headroom=1.5),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            controller(**kwargs)

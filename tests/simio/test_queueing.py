@@ -1,0 +1,86 @@
+"""Tests for the multi-server queueing timeline (WorkerPool)."""
+
+import pytest
+
+from repro.simio.queueing import WorkerPool
+
+
+class TestAssignment:
+    def test_earliest_free_worker_wins(self):
+        pool = WorkerPool(2)
+        w0, s0, f0 = pool.assign(0.0, 2.0)
+        w1, s1, f1 = pool.assign(0.0, 1.0)
+        assert (w0, s0, f0) == (0, 0.0, 2.0)
+        assert (w1, s1, f1) == (1, 0.0, 1.0)
+        # Worker 1 frees first (t=1.0), so it takes the next assignment.
+        w2, s2, f2 = pool.assign(0.5, 1.0)
+        assert (w2, s2, f2) == (1, 1.0, 2.0)
+
+    def test_tie_breaks_by_worker_id(self):
+        pool = WorkerPool(3)
+        assert pool.assign(0.0, 1.0)[0] == 0
+        assert pool.assign(0.0, 1.0)[0] == 1
+        assert pool.assign(0.0, 1.0)[0] == 2
+        # All free at t=1.0: the smallest id wins again.
+        assert pool.assign(1.0, 1.0)[0] == 0
+
+    def test_idle_worker_starts_immediately(self):
+        pool = WorkerPool(1)
+        pool.assign(0.0, 1.0)
+        worker, start, finish = pool.assign(5.0, 2.0)
+        assert (worker, start, finish) == (0, 5.0, 7.0)
+
+    def test_wait_accounting(self):
+        pool = WorkerPool(1)
+        pool.assign(0.0, 3.0)
+        _, start, _ = pool.assign(1.0, 1.0)  # waits 3.0 - 1.0 = 2.0
+        assert start == 3.0
+        assert pool.total_wait_s == 2.0
+        assert pool.busy_s == 4.0
+        assert pool.n_assigned == 2
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            WorkerPool(1).assign(0.0, -0.1)
+
+    def test_determinism(self):
+        def schedule():
+            pool = WorkerPool(3)
+            jobs = [(i * 0.3, 0.5 + 0.1 * (i % 4)) for i in range(20)]
+            return [pool.assign(now, dur) for now, dur in jobs]
+
+        assert schedule() == schedule()
+
+
+class TestIntrospection:
+    def test_idle_workers(self):
+        pool = WorkerPool(2)
+        assert pool.idle_workers(0.0) == 2
+        pool.assign(0.0, 2.0)
+        assert pool.idle_workers(0.0) == 1
+        assert pool.idle_workers(1.9) == 1
+        assert pool.idle_workers(2.0) == 2
+
+    def test_free_times_sorted(self):
+        pool = WorkerPool(3)
+        pool.assign(0.0, 3.0)
+        pool.assign(0.0, 1.0)
+        assert pool.free_times() == [0.0, 1.0, 3.0]
+
+    def test_earliest_start(self):
+        pool = WorkerPool(1)
+        pool.assign(0.0, 2.0)
+        assert pool.earliest_start(1.0) == 2.0
+        assert pool.earliest_start(5.0) == 5.0
+
+    def test_utilization(self):
+        pool = WorkerPool(2)
+        pool.assign(0.0, 1.0)
+        pool.assign(0.0, 3.0)
+        assert pool.utilization(4.0) == 4.0 / 8.0
+        with pytest.raises(ValueError, match="horizon"):
+            pool.utilization(0.0)
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError, match="worker"):
+            WorkerPool(0)
