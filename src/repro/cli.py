@@ -158,6 +158,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare-sequential", action="store_true",
         help="also time the per-query loop and report the speedup",
     )
+    batch.add_argument(
+        "--no-prune", action="store_true",
+        help=(
+            "disable the triangle-inequality chunk pruner "
+            "(results are identical either way; this only adds host work)"
+        ),
+    )
+    batch.add_argument(
+        "--cache-mb", type=float, default=None, metavar="MB",
+        help=(
+            "enable the simulated cross-query chunk cache with this "
+            "capacity; warm hits are charged at memory-copy cost"
+        ),
+    )
+    batch.add_argument(
+        "--router", action="store_true",
+        help=(
+            "rank chunks through coarse centroid groups (O(sqrt(C)) "
+            "probes per query) instead of the full centroid scan"
+        ),
+    )
 
     query = sub.add_parser(
         "query", help="run one descriptor query against a built system"
@@ -249,6 +270,13 @@ def _build_parser() -> argparse.ArgumentParser:
     servesim_p.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="resume file: finished grid cells are skipped on rerun",
+    )
+    servesim_p.add_argument(
+        "--cache-mb", type=float, default=None, metavar="MB",
+        help=(
+            "share a simulated chunk cache of this capacity across the "
+            "pool's workers (fresh per grid cell)"
+        ),
     )
 
     lint = sub.add_parser(
@@ -398,6 +426,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch_search(args: argparse.Namespace) -> int:
+    import dataclasses
     import time
 
     from .storage.collection_file import read_collection_file
@@ -409,6 +438,20 @@ def _cmd_batch_search(args: argparse.Namespace) -> int:
         raise CliError(f"--batch must be at least 1, got {args.batch}")
     if len(collection) == 0:
         raise CliError(f"collection {args.collection} holds no descriptors")
+    if args.no_prune:
+        system.prune = False
+    chunk_cache = None
+    if args.cache_mb is not None:
+        if not args.cache_mb > 0.0:
+            raise CliError(f"--cache-mb must be positive, got {args.cache_mb}")
+        from .simio.chunk_cache import LruChunkCache
+
+        chunk_cache = LruChunkCache(
+            capacity_bytes=int(args.cache_mb * (1 << 20))
+        )
+        system.cost_model = dataclasses.replace(
+            system.cost_model, chunk_cache=chunk_cache
+        )
     n = min(args.batch, len(collection))
     queries = collection.vectors[:n].astype(float)
     if args.chunks > 0:
@@ -419,13 +462,17 @@ def _cmd_batch_search(args: argparse.Namespace) -> int:
 
     start = time.perf_counter()
     batch = system.find_similar_descriptors_batch(
-        queries, k=args.k, exact=exact, workers=args.workers
+        queries, k=args.k, exact=exact, workers=args.workers,
+        use_router=args.router,
     )
     batch_wall_s = time.perf_counter() - start
 
     completed = sum(1 for r in batch if r.completed)
     print(f"batch of {len(batch)} queries (k={args.k}, workers={args.workers}):")
     print(f"  chunks read:        {batch.total_chunks_read}")
+    print(f"  chunks pruned:      {batch.total_chunks_pruned}")
+    if chunk_cache is not None:
+        print(f"  cache hit rate:     {chunk_cache.hit_rate:.2%}")
     print(f"  mean simulated:     {batch.mean_elapsed_s * 1000:.1f} ms/query")
     print(f"  exact completions:  {completed}/{len(batch)}")
     print(
@@ -564,6 +611,8 @@ def _cmd_servesim(args: argparse.Namespace) -> int:
         fault_rates = _parse_grid(args.fault_rates, "--fault-rates", upper=0.5)
     if args.workers < 1:
         raise CliError(f"--workers must be at least 1, got {args.workers}")
+    if args.cache_mb is not None and not args.cache_mb > 0.0:
+        raise CliError(f"--cache-mb must be positive, got {args.cache_mb}")
     data = prepare(scale)
     result = servesim.sweep(
         data,
@@ -575,6 +624,7 @@ def _cmd_servesim(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
         checkpoint_path=args.checkpoint,
+        cache_mb=args.cache_mb,
     )
     print(result.render())
     if args.json:

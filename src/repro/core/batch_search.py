@@ -43,11 +43,12 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import ChunkFaultOutcome
 from ..parallel import resolve_workers, run_parallel, shard
 from ..simio.calibration import PAPER_2005_COST_MODEL
-from ..simio.pipeline import CostModel
+from ..simio.pipeline import CostModel, PipelineSimulator
 from ..storage.errors import CorruptFileError
 from .chunk_index import ChunkIndex
 from .distance import pairwise_squared_distances
 from .neighbors import NeighborSet
+from .routing import CentroidRouter, RouterStream
 from .search import (
     RANK_BY_CENTROID,
     RANK_BY_LOWER_BOUND,
@@ -57,6 +58,12 @@ from .stop_rules import ExactCompletion, SearchProgress, StopRule
 from .trace import SearchTrace, TraceEvent
 
 __all__ = ["BatchChunkSearcher", "BatchSearchResult"]
+
+#: The prune-run fast path materializes ``TraceEvent`` instances from
+#: prebuilt value tuples; ``_make`` is the C-level tuple constructor, the
+#: cheapest way to build one (see the ``TraceEvent`` docstring for why
+#: the event type is a ``NamedTuple`` in the first place).
+_EVENT_MAKE = TraceEvent._make
 
 
 @dataclasses.dataclass
@@ -106,6 +113,11 @@ class BatchSearchResult:
         return int(sum(r.chunks_read for r in self.results))
 
     @property
+    def total_chunks_pruned(self) -> int:
+        """Visited chunks the pruner excused from scanning, batch-wide."""
+        return int(sum(r.chunks_pruned for r in self.results))
+
+    @property
     def mean_elapsed_s(self) -> float:
         return float(self.elapsed_s().mean()) if self.results else 0.0
 
@@ -127,6 +139,8 @@ class _QueryState:
         "k",
         "order",
         "suffix_list",
+        "lb_list",
+        "stream",
         "n_ranks",
         "simulator",
         "prev_read",
@@ -141,6 +155,7 @@ class _QueryState:
         "truth",
         "matches",
         "rank0",
+        "pruned",
         "stop_reason",
         "completed",
         "degraded",
@@ -152,23 +167,37 @@ class _QueryState:
         position: int,
         query: np.ndarray,
         k: int,
-        order: np.ndarray,
-        suffix_min: np.ndarray,
+        order: Optional[np.ndarray],
+        suffix_min: Optional[np.ndarray],
         start_s: float,
         stop_rule: StopRule,
         truth: Optional[frozenset],
-        simulator=None,
+        simulator: Optional[PipelineSimulator] = None,
         fault_key: Optional[int] = None,
+        ranked_lb: Optional[np.ndarray] = None,
+        stream: Optional[RouterStream] = None,
     ):
         self.position = position
         self.fault_key = position if fault_key is None else fault_key
         self.query = query
         self.k = k
-        # Plain Python lists: the execution loop touches one element per
-        # event, where numpy scalar extraction would dominate.
-        self.order = order.tolist()
-        self.suffix_list = suffix_min.tolist()
-        self.n_ranks = len(self.order)
+        if stream is None:
+            assert order is not None and suffix_min is not None
+            assert ranked_lb is not None
+            # Plain Python lists: the execution loop touches one element
+            # per event, where numpy scalar extraction would dominate.
+            self.order = order.tolist()
+            self.suffix_list = suffix_min.tolist()
+            self.lb_list = ranked_lb.tolist()
+            self.n_ranks = len(self.order)
+        else:
+            # Routed ranking: chunks arrive lazily from the stream; the
+            # per-rank arrays are never materialized.
+            self.order = []
+            self.suffix_list = []
+            self.lb_list = []
+            self.n_ranks = 0
+        self.stream = stream
         self.simulator = simulator
         self.prev_read = start_s
         self.prev_proc = start_s
@@ -186,14 +215,24 @@ class _QueryState:
         # because an empty neighbor set holds zero true neighbors.
         self.matches = 0 if truth is not None else -1
         self.rank0 = 0
+        self.pruned = 0
         self.stop_reason = "exhausted"
         self.completed = False
         self.degraded = False
         self.done = False
 
-    @property
-    def next_chunk(self) -> int:
-        return self.order[self.rank0]
+    def pull_next(self) -> "Tuple[int, float]":
+        """``(chunk_id, lower_bound)`` of the next chunk to visit.
+
+        Array mode reads the precomputed rank arrays (without consuming —
+        ``rank0`` advances when the event is applied); stream mode pops
+        the router stream, whose emission *is* the visit."""
+        if self.stream is None:
+            rank0 = self.rank0
+            return self.order[rank0], self.lb_list[rank0]
+        emitted = self.stream.next()
+        assert emitted is not None, "stream exhausted before state finished"
+        return emitted
 
     def finish(self, stop_reason: str, completed: bool) -> None:
         self.stop_reason = stop_reason
@@ -207,6 +246,7 @@ class _QueryState:
             stop_reason=self.stop_reason,
             completed=self.completed,
             degraded=self.degraded,
+            chunks_pruned=self.pruned,
         )
 
 
@@ -223,16 +263,32 @@ class BatchChunkSearcher:
         index: ChunkIndex,
         cost_model: CostModel = PAPER_2005_COST_MODEL,
         rank_by: str = RANK_BY_CENTROID,
+        prune: bool = True,
+        router: Optional[CentroidRouter] = None,
     ):
+        """``prune`` and ``router`` carry the same semantics as on
+        :class:`~repro.core.search.ChunkSearcher`: the pruner skips the
+        host-side scan of chunks whose lower bound strictly exceeds the
+        current k-th distance (results, traces and simulated timestamps
+        stay bit-identical), and a router replaces the full batched
+        centroid ranking with lazy per-query group expansion."""
         if rank_by not in (RANK_BY_CENTROID, RANK_BY_LOWER_BOUND):
             raise ValueError(f"unknown ranking rule {rank_by!r}")
+        if router is not None and router.n_chunks != index.n_chunks:
+            raise ValueError(
+                f"router covers {router.n_chunks} chunks, "
+                f"index has {index.n_chunks}"
+            )
         self.index = index
         self.cost_model = cost_model
         self.rank_by = rank_by
+        self._prune = bool(prune)
+        self.router = router
         self._centroids = index.centroid_matrix()
         self._radii = index.radius_vector()
         self._counts = index.descriptor_counts()
         self._pages = index.page_counts()
+        self._centroid_sq_norms = index.centroid_sq_norm_vector()
         # Per-chunk scalars as plain Python values: the execution loop
         # touches these once per (query, chunk) event, where repeated
         # numpy indexing and cost-model calls would dominate.
@@ -245,6 +301,12 @@ class BatchChunkSearcher:
         self._cpu_cost = [
             cost_model.cpu.chunk_processing_time_s(c) for c in self._count_list
         ]
+        # ``(io_s, cpu_s, n_descriptors)`` per chunk: the prune-run loop
+        # reads all three per event, and one index plus an unpack beats
+        # three list lookups.
+        self._prune_cost = list(
+            zip(self._io_cost, self._cpu_cost, self._count_list)
+        )
         self._overlap = cost_model.overlap_io_cpu
 
     # -- ownership -----------------------------------------------------------
@@ -272,7 +334,20 @@ class BatchChunkSearcher:
         chunk ids in scan order and the running minimum lower bound over
         the not-yet-scanned suffix (the completion-proof threshold).
         """
-        centroid_d = np.sqrt(pairwise_squared_distances(queries, self._centroids))
+        orders, suffix_min, _ = self._rank_full(queries)
+        return orders, suffix_min
+
+    def _rank_full(
+        self, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(orders, suffix_min, ranked_lower_bounds)`` — the public
+        ranking plus the per-rank lower bounds the pruner compares
+        against the k-th distance."""
+        centroid_d = np.sqrt(
+            pairwise_squared_distances(
+                queries, self._centroids, points_sq_norms=self._centroid_sq_norms
+            )
+        )
         lower_bounds = np.maximum(0.0, centroid_d - self._radii[np.newaxis, :])
         key = centroid_d if self.rank_by == RANK_BY_CENTROID else lower_bounds
         columns = np.broadcast_to(
@@ -283,7 +358,7 @@ class BatchChunkSearcher:
         orders = np.lexsort((columns, key), axis=-1)
         ranked_bounds = np.take_along_axis(lower_bounds, orders, axis=1)
         suffix_min = np.minimum.accumulate(ranked_bounds[:, ::-1], axis=1)[:, ::-1]
-        return orders, suffix_min
+        return orders, suffix_min, ranked_bounds
 
     # -- batch search --------------------------------------------------------
 
@@ -361,8 +436,16 @@ class BatchChunkSearcher:
             )
         stop_rule = stop_rule if stop_rule is not None else ExactCompletion()
 
-        orders, suffix_mins = self.rank_chunks_batch(queries)
-        shared_cache = self.cost_model.cache is not None
+        router = self.router
+        if router is None:
+            orders, suffix_mins, ranked_lbs = self._rank_full(queries)
+        # Both cache flavors make the simulated I/O charge of a chunk a
+        # function of the global touch order, so execution must follow the
+        # sequential loop's exact order (query-major).
+        shared_cache = (
+            self.cost_model.cache is not None
+            or self.cost_model.chunk_cache is not None
+        )
         if not shared_cache:
             # The start-of-query charge (index read + ranking) is
             # query-independent; replicate start_query's arithmetic once
@@ -391,14 +474,20 @@ class BatchChunkSearcher:
                     position=i,
                     query=queries[i],
                     k=k,
-                    order=orders[i],
-                    suffix_min=suffix_mins[i],
+                    order=orders[i] if router is None else None,
+                    suffix_min=suffix_mins[i] if router is None else None,
                     start_s=start_s,
                     stop_rule=stop_rule,
                     truth=truth_i,
                     simulator=simulator,
                     fault_key=(
                         int(query_indices[i]) if query_indices is not None else None
+                    ),
+                    ranked_lb=ranked_lbs[i] if router is None else None,
+                    stream=(
+                        router.stream(queries[i], self.rank_by)
+                        if router is not None
+                        else None
                     ),
                 )
             )
@@ -432,14 +521,27 @@ class BatchChunkSearcher:
         self, chunk_id: int, cache: Dict[int, Tuple[np.ndarray, np.ndarray]]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Chunk contents via the per-batch cache: one store read and one
-        float64 promotion per chunk per batch."""
+        float64 promotion per chunk per batch.  When the cost model
+        carries a simulated chunk cache, a payload attached by an earlier
+        batch is reused — the cross-query warm path the cache models —
+        without touching the simulated state (charging happens in the
+        timing calls, never here)."""
         cached = cache.get(chunk_id)
         if cached is None:
-            ids, vectors = self.index.read_chunk(chunk_id)
-            cached = (
-                np.asarray(ids, dtype=np.int64),
-                np.ascontiguousarray(vectors, dtype=np.float64),
+            sim_cache = self.cost_model.chunk_cache
+            payload = (
+                sim_cache.peek_payload(self._page_offsets[chunk_id])
+                if sim_cache is not None
+                else None
             )
+            if payload is not None:
+                cached = payload  # type: ignore[assignment]
+            else:
+                ids, vectors = self.index.read_chunk(chunk_id)
+                cached = (
+                    np.asarray(ids, dtype=np.int64),
+                    np.ascontiguousarray(vectors, dtype=np.float64),
+                )
             cache[chunk_id] = cached
         return cached
 
@@ -466,20 +568,23 @@ class BatchChunkSearcher:
         state: _QueryState,
         chunk_id: int,
         ids: np.ndarray,
-        distances: np.ndarray,
-        min_d: Optional[float] = None,
+        sq_distances: np.ndarray,
+        min_sq: Optional[float] = None,
         outcome: Optional[ChunkFaultOutcome] = None,
     ) -> None:
         """Apply one chunk's scan results to one query: timing charge,
         neighbor update, trace event, completion proof, stop rule —
         mirroring the sequential loop body statement for statement.
 
-        ``distances`` is the chunk's (already square-rooted) distance row;
-        ``min_d`` is its minimum when the caller computed it batched
-        (``None`` computes it here).  ``outcome`` is the (successful)
-        fault outcome of this access under degraded execution — its
-        ``extra_io_s`` lands on the chunk's I/O charge, its kind/retries
-        on the trace event.
+        ``sq_distances`` is the chunk's *squared*-distance row; the square
+        root is taken here, and only for chunks that pass the admission
+        gate — ``sqrt`` is monotone and correctly rounded (IEEE 754), so
+        ``sqrt(min(sq))`` is bit-equal to ``min(sqrt(sq))`` and deferring
+        it changes no observable float.  ``min_sq`` is the row minimum
+        when the caller computed it batched (``None`` computes it here).
+        ``outcome`` is the (successful) fault outcome of this access
+        under degraded execution — its ``extra_io_s`` lands on the
+        chunk's I/O charge, its kind/retries on the trace event.
         """
         extra_io_s = outcome.extra_io_s if outcome is not None else 0.0
         if state.simulator is not None:
@@ -510,14 +615,16 @@ class BatchChunkSearcher:
         neighbors = state.neighbors
         n_found = state.n_found
         kth = state.kth
-        if min_d is None:
-            min_d = float(distances.min()) if distances.size else math.inf
+        if min_sq is None:
+            min_sq = float(sq_distances.min()) if sq_distances.size else math.inf
         # A chunk whose best candidate cannot beat the current k-th
-        # neighbor admits nothing; skip the heap walk entirely.  The
-        # comparison runs in the same distance space as the update filter,
-        # so the skip is exact, not approximate.
+        # neighbor admits nothing; skip the heap walk (and the row's
+        # square root) entirely.  math.sqrt and np.sqrt are both IEEE
+        # correctly-rounded, so the scalar gate compares the same float
+        # the old sqrt-the-whole-row code produced.
+        min_d = math.sqrt(min_sq)
         if n_found < state.k or min_d <= kth:
-            if neighbors.update(distances, ids):
+            if neighbors.update(np.sqrt(sq_distances), ids):
                 n_found = len(neighbors)
                 kth = neighbors.kth_distance
                 state.n_found = n_found
@@ -551,11 +658,27 @@ class BatchChunkSearcher:
                     retries=outcome.retries,
                 )
             )
-        remaining_lb = (
-            state.suffix_list[next_rank]
-            if next_rank < state.n_ranks
-            else math.inf
-        )
+        self._advance_state(state, elapsed, next_rank)
+
+    def _advance_state(
+        self, state: _QueryState, elapsed: float, next_rank: int
+    ) -> None:
+        """The post-event tail shared by the scan, prune and skip
+        handlers: completion proof, stop rule, rank advance, exhaustion —
+        mirroring the sequential loop's epilogue statement for statement."""
+        n_found = state.n_found
+        kth = state.kth
+        stream = state.stream
+        if stream is None:
+            remaining_lb = (
+                state.suffix_list[next_rank]
+                if next_rank < state.n_ranks
+                else math.inf
+            )
+            at_end = next_rank >= state.n_ranks
+        else:
+            remaining_lb = stream.exact_remaining_lb()
+            at_end = stream.exhausted
         if n_found >= state.k and remaining_lb > kth:
             # The completion proof (SearchProgress.completion_proven) —
             # it cannot claim exactness over a degraded scan.
@@ -581,11 +704,149 @@ class BatchChunkSearcher:
                 state.finish(reason, False)
                 return
         state.rank0 = next_rank
-        if next_rank >= state.n_ranks:
+        if at_end:
             # Every chunk read without the proof firing early: the result
             # is nevertheless exact (there is nothing left to read) —
             # unless skipped chunks left holes in the scan.
             state.finish("exhausted", not state.degraded)
+
+    def _prune_chunk_for_state(
+        self,
+        state: _QueryState,
+        chunk_id: int,
+        outcome: Optional[ChunkFaultOutcome] = None,
+    ) -> None:
+        """Apply one *pruned* chunk to one query: charged and logged
+        exactly like :meth:`_process_chunk_for_state` — same simulated
+        timing recurrence, same trace event — but the chunk provably
+        admits no candidate (its lower bound strictly exceeds the k-th
+        distance), so the store read, distance kernel and heap update are
+        skipped on the host."""
+        extra_io_s = outcome.extra_io_s if outcome is not None else 0.0
+        if state.simulator is not None:
+            elapsed = state.simulator.process_chunk(
+                self._page_list[chunk_id],
+                self._count_list[chunk_id],
+                page_offset=self._page_offsets[chunk_id],
+                extra_io_s=extra_io_s,
+            )
+        else:
+            io = self._io_cost[chunk_id]
+            if extra_io_s:
+                io += extra_io_s
+            cpu = self._cpu_cost[chunk_id]
+            prev_proc = state.prev_proc
+            if self._overlap:
+                read_done = max(state.prev_read, state.drained) + io
+                elapsed = max(read_done, prev_proc) + cpu
+                state.prev_read = read_done
+            else:
+                elapsed = prev_proc + io + cpu
+            state.drained = prev_proc
+            state.prev_proc = elapsed
+        state.pruned += 1
+        next_rank = state.rank0 + 1
+        # The event is bit-identical to the scanned chunk's: a pruned
+        # chunk updates nothing, so n_found / kth / matches are unchanged.
+        if outcome is None:
+            state.events.append(
+                TraceEvent(
+                    chunk_id=chunk_id,
+                    rank=next_rank,
+                    elapsed_s=elapsed,
+                    n_descriptors=self._count_list[chunk_id],
+                    neighbors_found=state.n_found,
+                    kth_distance=state.kth,
+                    true_matches=state.matches,
+                )
+            )
+        else:
+            state.events.append(
+                TraceEvent(
+                    chunk_id=chunk_id,
+                    rank=next_rank,
+                    elapsed_s=elapsed,
+                    n_descriptors=self._count_list[chunk_id],
+                    neighbors_found=state.n_found,
+                    kth_distance=state.kth,
+                    true_matches=state.matches,
+                    fault=outcome.kind,
+                    retries=outcome.retries,
+                )
+            )
+        self._advance_state(state, elapsed, next_rank)
+
+    def _prune_run_for_state(self, state: _QueryState) -> None:
+        """Consume the state's whole run of *consecutive* prunable chunks
+        in one tight loop — the fast path behind the pruned scan's
+        wall-clock win.
+
+        Only taken when nothing can interrupt the run: flat ranking (no
+        router stream), no fault injection, the inlined timing recurrence
+        (no stateful simulator), and the run-to-completion stop rule.
+        Under those conditions the k-th distance is frozen for the whole
+        run (pruned chunks admit nothing), so the loop needs no per-event
+        checks at all:
+
+        * The neighbor set is full (a finite k-th distance is what let
+          the caller prune), so nothing downstream of the heap changes.
+        * The completion proof cannot fire mid-run.  The state entered
+          with ``suffix_min[rank0] <= kth`` (otherwise the previous
+          event's proof would have finished it), so a chunk with
+          ``lb <= kth`` lies ahead; the suffix minimum is non-decreasing
+          in rank, so it stays ``<= kth`` at every rank up to and
+          including that chunk — which is also where the loop condition
+          stops.  The same chunk bounds the run away from the end of the
+          ranking, so exhaustion is unreachable too.
+
+        Each event carries exactly the values
+        :meth:`_prune_chunk_for_state` would produce (same recurrence,
+        same fields, ranks contiguous by construction), so traces and
+        timestamps are bit-identical to the per-event path; events are
+        built with the C-level tuple constructor from a value tuple whose
+        run-constant tail (``n_found``/``kth``/``matches`` cannot move
+        while every chunk is pruned) is hoisted out of the loop.
+        """
+        order = state.order
+        lbs = state.lb_list
+        per_chunk = self._prune_cost
+        events = state.events
+        append = events.append
+        kth = state.kth
+        # (neighbors_found, kth_distance, true_matches, skipped, fault,
+        # retries) — constant for the whole run.
+        tail = (state.n_found, kth, state.matches, False, "none", 0)
+        prev_read = state.prev_read
+        prev_proc = state.prev_proc
+        drained = state.drained
+        r = state.rank0
+        start = r
+        make = _EVENT_MAKE
+        if self._overlap:
+            while lbs[r] > kth:
+                cid = order[r]
+                io, cpu, count = per_chunk[cid]
+                read_done = (prev_read if prev_read >= drained else drained) + io
+                elapsed = (read_done if read_done >= prev_proc else prev_proc) + cpu
+                prev_read = read_done
+                drained = prev_proc
+                prev_proc = elapsed
+                r += 1
+                append(make((cid, r, elapsed, count) + tail))
+        else:
+            while lbs[r] > kth:
+                cid = order[r]
+                io, cpu, count = per_chunk[cid]
+                elapsed = prev_proc + io + cpu
+                drained = prev_proc
+                prev_proc = elapsed
+                r += 1
+                append(make((cid, r, elapsed, count) + tail))
+        state.prev_read = prev_read
+        state.prev_proc = prev_proc
+        state.drained = drained
+        state.pruned += r - start
+        state.rank0 = r
 
     def _skip_chunk_for_state(
         self,
@@ -629,31 +890,9 @@ class BatchChunkSearcher:
                 retries=outcome.retries,
             )
         )
-        remaining_lb = (
-            state.suffix_list[next_rank]
-            if next_rank < state.n_ranks
-            else math.inf
-        )
-        if n_found >= state.k and remaining_lb > kth:
-            state.finish("proof-degraded", False)
-            return
-        rule = state.stop_rule
-        if type(rule) is not ExactCompletion:
-            reason = rule.check(
-                SearchProgress(
-                    chunks_read=next_rank,
-                    elapsed_s=elapsed,
-                    neighbors_found=n_found,
-                    kth_distance=kth,
-                    remaining_lower_bound=remaining_lb,
-                )
-            )
-            if reason is not None:
-                state.finish(reason, False)
-                return
-        state.rank0 = next_rank
-        if next_rank >= state.n_ranks:
-            state.finish("exhausted", False)
+        # state.degraded is set, so the shared tail resolves the proof to
+        # "proof-degraded" and exhaustion to completed=False.
+        self._advance_state(state, elapsed, next_rank)
 
     def _run_chunk_major(
         self,
@@ -665,28 +904,43 @@ class BatchChunkSearcher:
         cohort through a per-batch scan cache.
 
         Each state runs to its stop in turn; the first time any query
-        demands a chunk, that chunk's distances are computed for *every*
-        not-yet-finished query in a single kernel call and the rows
-        cached.  A query reaching the chunk later was necessarily pending
-        when it was scanned (``done`` is absorbing and later states have
-        not started), so its row is already there — each chunk costs one
-        store read, one float64 promotion, and one kernel call per batch,
-        however the per-query rank orders interleave.
+        demands a chunk, that chunk's distances are computed for the
+        *whole* cohort in a single kernel call against a query matrix
+        stacked once per batch, and the rows cached — each chunk costs
+        one store read, one float64 promotion, and one fixed-shape kernel
+        call per batch, however the per-query rank orders interleave.  A
+        query's row is its index in ``states``, so dispensing a cached
+        row is two list reads; rows computed for already-finished (or
+        later-pruning) queries are never consumed and cost only BLAS
+        throughput, far below the per-chunk bookkeeping they used to
+        save.
 
         Degraded execution (``faults``) preserves the sharing: fault
         decisions are keyed by ``(query position, chunk)``, never by call
         order, so injecting them into this chunk-major interleave yields
         exactly the sequential searcher's per-query outcomes; a chunk
-        whose *real* read fails is marked failed once for the cohort."""
+        whose *real* read fails is marked failed once for the cohort.
+
+        Pruning composes with the sharing: a state arriving at a prunable
+        chunk never demands its distance row, so a chunk every remaining
+        state prunes is neither read nor scanned."""
         scanned: Dict[int, tuple] = {}
         failed_chunks: set = set()
-        for state in states:
+        prune = self._prune
+        query_matrix = np.stack([s.query for s in states])
+        n_rows = len(states)
+        for row, state in enumerate(states):
             process = self._process_chunk_for_state
-            order = state.order
-            position = state.position
             fault_key = state.fault_key
+            burst = (
+                prune
+                and faults is None
+                and state.stream is None
+                and state.simulator is None
+                and type(state.stop_rule) is ExactCompletion
+            )
             while not state.done:
-                chunk_id = order[state.rank0]
+                chunk_id, lb = state.pull_next()
                 outcome = None
                 if faults is not None:
                     readable = (
@@ -702,27 +956,29 @@ class BatchChunkSearcher:
                     if not outcome.ok:
                         self._skip_chunk_for_state(state, chunk_id, outcome)
                         continue
+                if prune and lb > state.kth:
+                    if burst:
+                        self._prune_run_for_state(state)
+                    else:
+                        self._prune_chunk_for_state(state, chunk_id, outcome)
+                    continue
                 entry = scanned.get(chunk_id)
                 if entry is None:
                     ids, vectors = self._read_chunk(chunk_id, chunk_cache)
-                    pending = [s for s in states if not s.done]
-                    queries = np.stack([s.query for s in pending])
-                    dists = np.sqrt(
-                        pairwise_squared_distances(queries, vectors)
-                    )
+                    # Kept in squared space: _process_chunk_for_state takes
+                    # the root only for rows that pass its admission gate.
+                    d2 = pairwise_squared_distances(query_matrix, vectors)
                     # Row minima batched too: the per-query skip test then
                     # costs a list index instead of a numpy reduction.
-                    mins = (
-                        dists.min(axis=1).tolist()
-                        if dists.shape[1]
-                        else [math.inf] * dists.shape[0]
+                    mins2 = (
+                        d2.min(axis=1).tolist()
+                        if d2.shape[1]
+                        else [math.inf] * n_rows
                     )
-                    row_of = {s.position: r for r, s in enumerate(pending)}
-                    entry = (row_of, ids, dists, mins)
+                    entry = (ids, d2, mins2)
                     scanned[chunk_id] = entry
-                row_of, ids, dists, mins = entry
-                row = row_of[position]
-                process(state, chunk_id, ids, dists[row], mins[row], outcome)
+                ids, d2, mins2 = entry
+                process(state, chunk_id, ids, d2[row], mins2[row], outcome)
 
     def _run_query_major(
         self,
@@ -733,11 +989,24 @@ class BatchChunkSearcher:
     ) -> None:
         """Sequential-order execution for shared-cache cost models: one
         query runs to its stop before the next one starts, so simulated
-        page touches land in exactly the per-query loop's order."""
+        cache touches land in exactly the per-query loop's order.
+
+        With a simulated chunk cache the handlers charge each access
+        through it (via the per-state simulator); the canonical promoted
+        payload is attached *after* the timing call, exactly as the
+        sequential searcher does, so later queries — in this batch or the
+        next — reuse the decoded contents while the chunk stays resident."""
+        sim_cache = self.cost_model.chunk_cache
+        prune = self._prune
         while not state.done:
-            chunk_id = state.next_chunk
+            chunk_id, lb = state.pull_next()
+            prunable = prune and lb > state.kth
             outcome = None
+            contents = None
             if faults is not None:
+                # Degraded execution needs the chunk's readability even
+                # when pruning would skip the scan: the fault outcome
+                # (and therefore the timing and trace) depends on it.
                 contents = self._try_read_chunk(
                     chunk_id,
                     chunk_cache,
@@ -752,13 +1021,20 @@ class BatchChunkSearcher:
                 if not outcome.ok:
                     self._skip_chunk_for_state(state, chunk_id, outcome)
                     continue
+            elif not prunable:
+                contents = self._read_chunk(chunk_id, chunk_cache)
+            if prunable:
+                self._prune_chunk_for_state(state, chunk_id, outcome)
+            else:
                 assert contents is not None
                 ids, vectors = contents
-            else:
-                ids, vectors = self._read_chunk(chunk_id, chunk_cache)
-            distances = np.sqrt(
-                pairwise_squared_distances(state.query[np.newaxis, :], vectors)
-            )
-            self._process_chunk_for_state(
-                state, chunk_id, ids, distances[0], outcome=outcome
-            )
+                sq = pairwise_squared_distances(
+                    state.query[np.newaxis, :], vectors
+                )
+                self._process_chunk_for_state(
+                    state, chunk_id, ids, sq[0], outcome=outcome
+                )
+            if sim_cache is not None and contents is not None:
+                # Attach only sticks while the chunk is simulated-resident
+                # (the process call above just touched it).
+                sim_cache.attach(self._page_offsets[chunk_id], contents)

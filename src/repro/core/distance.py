@@ -45,6 +45,12 @@ def squared_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
     exact (no catastrophic cancellation), unlike the expanded
     ``|p|^2 - 2 p.q + |q|^2`` form.
 
+    Non-float64 inputs (the collections are stored float32) are promoted
+    blockwise: each block's float64 temporary is bounded instead of a full
+    float64 copy of ``points`` being materialized per call.  Every row's
+    reduction is independent of the blocking, so the result is bit-identical
+    to promoting the whole matrix first.
+
     Parameters
     ----------
     query:
@@ -63,8 +69,15 @@ def squared_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
             f"dimension mismatch: query has {query.shape[0]} dims, "
             f"points have {points.shape[1]}"
         )
-    diff = points.astype(np.float64, copy=False) - query
-    return np.einsum("ij,ij->i", diff, diff)
+    if points.dtype == np.float64 or points.shape[0] <= DEFAULT_BLOCK_ROWS:
+        diff = points.astype(np.float64, copy=False) - query
+        return np.einsum("ij,ij->i", diff, diff)
+    out = np.empty(points.shape[0], dtype=np.float64)
+    for start in range(0, points.shape[0], DEFAULT_BLOCK_ROWS):
+        stop = min(start + DEFAULT_BLOCK_ROWS, points.shape[0])
+        diff = points[start:stop].astype(np.float64) - query
+        np.einsum("ij,ij->i", diff, diff, out=out[start:stop])
+    return out
 
 
 def euclidean_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
@@ -76,6 +89,7 @@ def pairwise_squared_distances(
     queries: np.ndarray,
     points: np.ndarray,
     block_rows: int = DEFAULT_BLOCK_ROWS,
+    points_sq_norms: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Full ``(n_queries, n_points)`` float64 matrix of squared distances.
 
@@ -85,13 +99,27 @@ def pairwise_squared_distances(
     ranking and batched chunk scans; it agrees with the direct form to
     ~1e-9 on descriptor-scale data but is not bit-identical to
     :func:`squared_distances` on near-duplicate pairs.
+
+    ``points_sq_norms`` optionally supplies the precomputed ``|p|^2`` terms
+    (shape ``(n_points,)``, float64) — e.g. the per-chunk centroid norms a
+    v2 index file stores — skipping their recomputation.  They must equal
+    ``einsum("pd,pd->p", points, points)`` on the float64-promoted points
+    for the result to be unchanged (norms computed that way once and stored
+    are bit-identical to recomputing them here).
     """
+    if block_rows <= 0:
+        raise ValueError(f"block_rows must be positive, got {block_rows}")
     queries = _as_matrix(queries).astype(np.float64, copy=False)
     points = _as_matrix(points)
     if queries.shape[1] != points.shape[1]:
         raise ValueError(
             f"dimension mismatch: queries have {queries.shape[1]} dims, "
             f"points have {points.shape[1]}"
+        )
+    if points_sq_norms is not None and points_sq_norms.shape[0] != points.shape[0]:
+        raise ValueError(
+            f"got {points_sq_norms.shape[0]} point norms "
+            f"for {points.shape[0]} points"
         )
     n_q, n_p = queries.shape[0], points.shape[0]
     out = np.empty((n_q, n_p), dtype=np.float64)
@@ -102,7 +130,10 @@ def pairwise_squared_distances(
     for start in range(0, n_p, block_rows):
         stop = min(start + block_rows, n_p)
         block = points[start:stop].astype(np.float64, copy=False)
-        p_sq = np.einsum("pd,pd->p", block, block)
+        if points_sq_norms is None:
+            p_sq = np.einsum("pd,pd->p", block, block)
+        else:
+            p_sq = points_sq_norms[start:stop]
         segment = out[:, start:stop]
         np.matmul(queries, block.T, out=segment)
         segment *= -2.0

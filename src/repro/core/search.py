@@ -34,6 +34,7 @@ from ..storage.errors import CorruptFileError
 from .chunk_index import ChunkIndex
 from .distance import squared_distances
 from .neighbors import Neighbor, NeighborSet
+from .routing import CentroidRouter
 from .stop_rules import ExactCompletion, SearchProgress, StopRule
 from .trace import SearchTrace, TraceEvent
 
@@ -67,6 +68,13 @@ class SearchResult:
         True when at least one chunk was skipped after exhausting its
         read retries (see ``trace.chunks_skipped`` for how many and
         ``coverage_fraction`` for the descriptor coverage that remains).
+    chunks_pruned:
+        How many visited chunks the triangle-inequality pruner excused
+        from scanning (host-side work saved).  Pruning never changes the
+        result: a pruned chunk is charged identical simulated time and
+        logged with an identical trace event — it provably could not have
+        altered the neighbor set, so only the wall-clock work (store read,
+        distance kernel, heap update) is skipped.
     """
 
     neighbors: List[Neighbor]
@@ -74,6 +82,7 @@ class SearchResult:
     stop_reason: str
     completed: bool
     degraded: bool = False
+    chunks_pruned: int = 0
 
     @property
     def chunks_read(self) -> int:
@@ -106,12 +115,33 @@ class ChunkSearcher:
         index: ChunkIndex,
         cost_model: CostModel = PAPER_2005_COST_MODEL,
         rank_by: str = RANK_BY_CENTROID,
+        prune: bool = True,
+        router: Optional[CentroidRouter] = None,
     ):
+        """``prune=True`` (default) activates the triangle-inequality chunk
+        pruner: a visited chunk whose lower bound strictly exceeds the
+        current k-th distance is charged and logged exactly as if scanned
+        (results, traces, and simulated timestamps are bit-identical) but
+        its store read and distance kernel are skipped on the host.
+
+        ``router`` optionally supplies a prebuilt
+        :class:`~repro.core.routing.CentroidRouter`; chunk ranking then
+        probes its ``O(sqrt(C))`` centroid groups lazily instead of
+        scanning all ``C`` centroids per query, preserving the exact scan
+        order and completion-proof values.
+        """
         if rank_by not in (RANK_BY_CENTROID, RANK_BY_LOWER_BOUND):
             raise ValueError(f"unknown ranking rule {rank_by!r}")
+        if router is not None and router.n_chunks != index.n_chunks:
+            raise ValueError(
+                f"router covers {router.n_chunks} chunks, "
+                f"index has {index.n_chunks}"
+            )
         self.index = index
         self.cost_model = cost_model
         self.rank_by = rank_by
+        self.prune = bool(prune)
+        self.router = router
         # Cached per-index arrays used by every query.
         self._centroids = index.centroid_matrix()
         self._radii = index.radius_vector()
@@ -141,6 +171,15 @@ class ChunkSearcher:
         quantity the completion proof compares against the k-th distance
         after ``r`` chunks were read.
         """
+        order, suffix_min, _ = self._rank_arrays(query)
+        return order, suffix_min
+
+    def _rank_arrays(
+        self, query: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(order, suffix_min, ranked_lower_bounds)`` for one query —
+        the full ranking plus the per-rank lower bounds the pruner tests
+        against the k-th distance."""
         centroid_d = np.sqrt(squared_distances(query, self._centroids))
         lower_bounds = np.maximum(0.0, centroid_d - self._radii)
         key = centroid_d if self.rank_by == RANK_BY_CENTROID else lower_bounds
@@ -148,7 +187,7 @@ class ChunkSearcher:
         ranked_bounds = lower_bounds[order]
         # suffix_min[r] = min lower bound over ranks >= r.
         suffix_min = np.minimum.accumulate(ranked_bounds[::-1])[::-1]
-        return order, suffix_min
+        return order, suffix_min, ranked_bounds
 
     # -- search ----------------------------------------------------------------
 
@@ -205,27 +244,82 @@ class ChunkSearcher:
             else None
         )
 
-        order, suffix_min = self.rank_chunks(query)
+        stream = None
+        if self.router is not None:
+            stream = self.router.stream(query, self.rank_by)
+            order_list: List[int] = []
+            lb_list: List[float] = []
+            suffix_list: List[float] = []
+            n_ranks = self.index.n_chunks
+        else:
+            order, suffix_min, ranked_lb = self._rank_arrays(query)
+            order_list = order.tolist()
+            lb_list = ranked_lb.tolist()
+            suffix_list = suffix_min.tolist()
+            n_ranks = len(order_list)
         simulator = self.cost_model.simulator()
         start_s = simulator.start_query(self.index.n_chunks, self.index.index_bytes)
         trace = SearchTrace(start_elapsed_s=start_s)
         neighbors = NeighborSet(k)
+        chunk_cache = self.cost_model.chunk_cache
+        prune = self.prune
 
         stop_reason = "exhausted"
         completed = False
         degraded = False
-        for rank0, chunk_id in enumerate(np.asarray(order)):
-            chunk_id = int(chunk_id)
-            if faults is None:
-                ids, vectors = self.index.read_chunk(chunk_id)
-                outcome = OK_OUTCOME
+        exhausted = True
+        chunks_pruned = 0
+        rank0 = 0
+        while True:
+            if stream is not None:
+                emitted = stream.next()
+                if emitted is None:
+                    break
+                chunk_id, lb = emitted
             else:
-                try:
-                    ids, vectors = self.index.read_chunk(chunk_id)
+                if rank0 >= n_ranks:
+                    break
+                chunk_id = order_list[rank0]
+                lb = lb_list[rank0]
+            page_offset = self.index.metas[chunk_id].page_offset
+            # The pruning bound: a chunk whose lower bound strictly exceeds
+            # the current k-th distance cannot admit any candidate (ties
+            # must still be scanned — an equal-distance, smaller-id
+            # descriptor would enter the neighbor set).  kth is +inf until
+            # k neighbors are known, so pruning never fires early.
+            prunable = prune and lb > neighbors.kth_distance
+            ids = vectors = None
+            if faults is None:
+                outcome = OK_OUTCOME
+                if not prunable:
+                    payload = (
+                        chunk_cache.peek_payload(page_offset)
+                        if chunk_cache is not None
+                        else None
+                    )
+                    if payload is not None:
+                        ids, vectors = payload  # type: ignore[misc]
+                    else:
+                        ids, vectors = self.index.read_chunk(chunk_id)
+            else:
+                # Degraded execution needs the chunk's *readability* even
+                # when pruning would skip the scan: the fault outcome (and
+                # therefore the timing and trace) depends on it.
+                payload = (
+                    chunk_cache.peek_payload(page_offset)
+                    if chunk_cache is not None
+                    else None
+                )
+                if payload is not None:
+                    ids, vectors = payload  # type: ignore[misc]
                     readable = True
-                except CorruptFileError:
-                    ids = vectors = None
-                    readable = False
+                else:
+                    try:
+                        ids, vectors = self.index.read_chunk(chunk_id)
+                        readable = True
+                    except CorruptFileError:
+                        ids = vectors = None
+                        readable = False
                 outcome = faults.outcome(
                     query_index,
                     chunk_id,
@@ -234,15 +328,28 @@ class ChunkSearcher:
                 )
 
             if outcome.ok:
-                assert vectors is not None and ids is not None
                 elapsed = simulator.process_chunk(
                     int(self._pages[chunk_id]),
                     int(self._counts[chunk_id]),
-                    page_offset=self.index.metas[chunk_id].page_offset,
+                    page_offset=page_offset,
                     extra_io_s=outcome.extra_io_s,
                 )
-                distances = np.sqrt(squared_distances(query, vectors))
-                neighbors.update(distances, ids)
+                if chunk_cache is not None and ids is not None:
+                    # Share the promoted contents across queries; attach
+                    # only sticks while the chunk is simulated-resident.
+                    chunk_cache.attach(
+                        page_offset,
+                        (
+                            np.asarray(ids, dtype=np.int64),
+                            np.ascontiguousarray(vectors, dtype=np.float64),
+                        ),
+                    )
+                if prunable:
+                    chunks_pruned += 1
+                else:
+                    assert vectors is not None and ids is not None
+                    distances = np.sqrt(squared_distances(query, vectors))
+                    neighbors.update(distances, ids)
             else:
                 # Degraded execution: every retry failed; the chunk is
                 # skipped, its attempts charged as pure I/O time.
@@ -267,9 +374,14 @@ class ChunkSearcher:
                 )
             )
 
-            remaining_lb = (
-                float(suffix_min[rank0 + 1]) if rank0 + 1 < order.shape[0] else math.inf
-            )
+            if stream is not None:
+                remaining_lb = stream.exact_remaining_lb()
+            else:
+                remaining_lb = (
+                    float(suffix_list[rank0 + 1])
+                    if rank0 + 1 < n_ranks
+                    else math.inf
+                )
             progress = SearchProgress(
                 chunks_read=rank0 + 1,
                 elapsed_s=elapsed,
@@ -285,12 +397,15 @@ class ChunkSearcher:
             if neighbors.is_full and progress.completion_proven:
                 stop_reason = "completed" if not degraded else "proof-degraded"
                 completed = not degraded
+                exhausted = False
                 break
             reason = stop_rule.check(progress)
             if reason is not None:
                 stop_reason = reason
+                exhausted = False
                 break
-        else:
+            rank0 += 1
+        if exhausted:
             # All chunks read without the proof firing early: the result is
             # nevertheless exact (there is nothing left to read) — unless
             # skipped chunks left holes in the scan.
@@ -302,4 +417,5 @@ class ChunkSearcher:
             stop_reason=stop_reason,
             completed=completed,
             degraded=degraded,
+            chunks_pruned=chunks_pruned,
         )

@@ -29,6 +29,7 @@ from ..core.batch_search import BatchChunkSearcher
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..service import QueryService, ServiceConfig
+from ..simio.chunk_cache import LruChunkCache
 from .checkpoint import SweepCheckpoint
 from .data import ExperimentData
 from .report import format_table
@@ -142,17 +143,27 @@ def sweep(
     seed: int = DEFAULT_SEED,
     n_workers: int = 4,
     checkpoint_path: Optional[Union[str, os.PathLike]] = None,
+    cache_mb: Optional[float] = None,
 ) -> ServesimResult:
     """Run the service grid; one cell per ``(fault rate, load factor)``.
 
     ``checkpoint_path`` enables point-by-point resume exactly as in the
     fault sweep: each finished cell (and the calibration run) is
     published atomically and skipped on rerun.
+
+    ``cache_mb`` enables the simulated cross-query chunk cache shared by
+    the pool's workers: each cell (and the calibration run) gets a
+    *fresh* cache of that capacity, so every cell stays a pure function
+    of its own coordinates — no warm-up leaks across cells — and the
+    report remains byte-identical across reruns.  Cells then additionally
+    record the cache's hit rate.
     """
     if not load_factors or not fault_rates:
         raise ValueError("need at least one load factor and one fault rate")
     if any(not load > 0.0 for load in load_factors):
         raise ValueError("load factors must be positive")
+    if cache_mb is not None and not cache_mb > 0.0:
+        raise ValueError("cache size must be positive megabytes (or None)")
     checkpoint = None
     if checkpoint_path is not None:
         checkpoint = SweepCheckpoint(
@@ -167,6 +178,7 @@ def sweep(
                 "k": int(data.scale.k),
                 "n_workers": int(n_workers),
                 "n_queries": len(data.workloads[workload_name]),
+                "cache_mb": float(cache_mb) if cache_mb is not None else None,
             },
         )
     built = data.built(family, size_class)
@@ -175,7 +187,24 @@ def sweep(
     truth_lists: List[Optional[Sequence[int]]] = [
         truth.get(i) for i in range(len(workload))
     ]
-    searcher = BatchChunkSearcher(built.index, cost_model=data.scale.cost_model)
+
+    def fresh_searcher() -> "Tuple[BatchChunkSearcher, Optional[LruChunkCache]]":
+        """A searcher over the built index; with ``cache_mb`` set it gets
+        its own chunk cache so each run's warm-up is self-contained."""
+        if cache_mb is None:
+            return (
+                BatchChunkSearcher(built.index, cost_model=data.scale.cost_model),
+                None,
+            )
+        cache = LruChunkCache(
+            capacity_bytes=int(float(cache_mb) * (1 << 20)), seed=int(seed)
+        )
+        cost_model = dataclasses.replace(
+            data.scale.cost_model, chunk_cache=cache
+        )
+        return BatchChunkSearcher(built.index, cost_model=cost_model), cache
+
+    searcher, _ = fresh_searcher()
 
     baseline = checkpoint.get("baseline") if checkpoint is not None else None
     if baseline is None:
@@ -213,8 +242,15 @@ def sweep(
                     faults = FaultInjector.from_cost_model(
                         plan, data.scale.cost_model
                     )
+                # A fresh cache per cell: the cell's result must be a pure
+                # function of its coordinates, not of which cells (or the
+                # calibration run) happened to execute before it — that is
+                # what keeps checkpoint resume byte-identical.
+                cell_searcher, cell_cache = (
+                    (searcher, None) if cache_mb is None else fresh_searcher()
+                )
                 service = QueryService(
-                    searcher, config, faults=faults,
+                    cell_searcher, config, faults=faults,
                     true_neighbor_ids=truth_lists,
                 )
                 result = service.run(workload.queries)
@@ -234,6 +270,8 @@ def sweep(
                     "breaker_opens": result.breaker_opens,
                     "utilization": result.utilization,
                 }
+                if cell_cache is not None:
+                    cell["cache_hit_rate"] = cell_cache.hit_rate
                 if checkpoint is not None:
                     checkpoint.put(key, cell)
                     cell = checkpoint.get(key)
@@ -260,6 +298,7 @@ def sweep(
             "target_p99_s": target_p99_s,
             "load_factors": [float(load) for load in load_factors],
             "fault_rates": [float(rate) for rate in fault_rates],
+            "cache_mb": float(cache_mb) if cache_mb is not None else None,
         },
         rows=rows,
     )

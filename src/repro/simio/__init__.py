@@ -20,6 +20,7 @@ code can be timed for real when desired.
 
 from .cache import LruPageCache, cached_read_time_s
 from .calibration import PAPER_2005_COST_MODEL, verify_calibration
+from .chunk_cache import LruChunkCache, chunk_read_time_s
 from .clock import Clock, SimulatedClock, WallClock
 from .cpu_model import CpuModel
 from .disk_model import DiskModel
@@ -30,6 +31,8 @@ __all__ = [
     "WorkerPool",
     "LruPageCache",
     "cached_read_time_s",
+    "LruChunkCache",
+    "chunk_read_time_s",
     "PAPER_2005_COST_MODEL",
     "verify_calibration",
     "Clock",

@@ -1,0 +1,190 @@
+"""Simulated cross-query chunk cache.
+
+The page cache in :mod:`repro.simio.cache` models the *operating system's*
+buffer cache at page granularity.  This module models the *application's*
+chunk cache: a retrieval service keeps recently read chunks — whole
+``(ids, vectors)`` payloads, not pages — in a bounded pool shared by every
+worker of its :class:`~repro.simio.queueing.WorkerPool`, so a chunk that is
+hot across the query stream is fetched from disk once and served from
+memory afterwards.
+
+Cost semantics (:func:`chunk_read_time_s`):
+
+* a **cold** read is charged the full random-read price of the chunk's
+  page extent, exactly as an uncached read would be;
+* a **warm** hit is charged a memory-copy of the same bytes at
+  ``memcpy_bytes_per_s`` — orders of magnitude cheaper, never free, so
+  cached timings remain strictly ordered and comparable.
+
+The hit/miss sequence is a pure function of the touch order (bounded LRU,
+deterministic eviction), which preserves the PR-1–4 determinism contract:
+two runs with the same seed and the same query order produce byte-identical
+reports.  ``seed`` does not randomize anything — it is recorded so a report
+can pin the workload that warmed the cache.
+
+Like every simulated-layer module, this file must never read the wall
+clock; host-side payload storage (:meth:`LruChunkCache.attach`) affects
+only how fast the host finishes, never a simulated timestamp.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from .disk_model import DiskModel
+
+__all__ = ["LruChunkCache", "chunk_read_time_s", "DEFAULT_MEMCPY_BYTES_PER_S"]
+
+#: Default warm-hit bandwidth: ~1 GB/s, a conservative memory-copy rate for
+#: the paper's 2005-era hardware (DDR-333 streams faster, but the copy
+#: shares the bus with the scan itself).
+DEFAULT_MEMCPY_BYTES_PER_S = 1.0e9
+
+
+class _Entry:
+    """One resident chunk: its size and (optionally) its contents."""
+
+    __slots__ = ("nbytes", "payload")
+
+    def __init__(self, nbytes: int):
+        self.nbytes = nbytes
+        self.payload: Optional[object] = None
+
+
+class LruChunkCache:
+    """Bounded LRU cache of whole chunks, keyed by chunk-file page offset.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total simulated bytes the cache may hold; entries are evicted in
+        LRU order once an insertion exceeds it.  A chunk larger than the
+        whole capacity is charged as a miss but never retained.
+    memcpy_bytes_per_s:
+        Bandwidth at which a warm hit is charged (simulated memory copy).
+    seed:
+        Seed of the workload that warmed the cache, recorded in
+        :meth:`stats` for report provenance; the cache itself is
+        deterministic regardless.
+
+    The page offset is the key because it uniquely locates a chunk within
+    one chunk file (extents never overlap), and it is the datum the
+    pipeline simulator already receives per read.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        memcpy_bytes_per_s: float = DEFAULT_MEMCPY_BYTES_PER_S,
+        seed: int = 0,
+    ):
+        if capacity_bytes < 1:
+            raise ValueError("chunk cache needs a positive byte capacity")
+        if memcpy_bytes_per_s <= 0.0:
+            raise ValueError("memory-copy bandwidth must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.memcpy_bytes_per_s = float(memcpy_bytes_per_s)
+        self.seed = int(seed)
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._entries
+
+    def touch(self, key: int, nbytes: int) -> bool:
+        """Access one chunk; returns True on a hit.
+
+        A miss inserts the chunk (size ``nbytes``) and evicts least
+        recently used entries until the capacity holds again.
+        """
+        key = int(key)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if nbytes < 0:
+            raise ValueError("chunk size cannot be negative")
+        entry = _Entry(int(nbytes))
+        self._entries[key] = entry
+        self.used_bytes += entry.nbytes
+        while self.used_bytes > self.capacity_bytes and self._entries:
+            victim_key, victim = self._entries.popitem(last=False)
+            self.used_bytes -= victim.nbytes
+            self.evictions += 1
+            if victim_key == key:
+                # The new chunk itself exceeded the capacity: charged as a
+                # miss, not retained.
+                break
+        return False
+
+    def peek_payload(self, key: int) -> Optional[object]:
+        """Contents attached to a resident chunk, without touching LRU
+        state (``None`` when absent or never attached)."""
+        entry = self._entries.get(int(key))
+        return entry.payload if entry is not None else None
+
+    def attach(self, key: int, payload: object) -> bool:
+        """Attach host-side contents to a *resident* chunk.
+
+        Returns False (no-op) when the chunk is not resident, so payloads
+        can never outlive their simulated residency.  The payload is
+        opaque to the cache; engines store the promoted ``(ids, vectors)``
+        pair so sequential and batch searchers share one representation.
+        """
+        entry = self._entries.get(int(key))
+        if entry is None:
+            return False
+        entry.payload = payload
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> "dict[str, object]":
+        """JSON-ready counters (deterministic under a fixed touch order)."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "used_bytes": self.used_bytes,
+            "resident_chunks": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "memcpy_bytes_per_s": self.memcpy_bytes_per_s,
+            "seed": self.seed,
+        }
+
+
+def chunk_read_time_s(
+    disk: DiskModel,
+    cache: LruChunkCache,
+    page_offset: int,
+    page_count: int,
+) -> Tuple[float, bool]:
+    """Time to read one chunk through the chunk cache.
+
+    A warm hit copies the chunk's bytes from memory; a cold miss pays the
+    disk model's full random-read price (positioning + transfer) and
+    inserts the chunk.  Returns ``(seconds, hit)``.
+    """
+    if page_count < 1:
+        raise ValueError("a read covers at least one page")
+    nbytes = page_count * disk.page_bytes
+    if cache.touch(page_offset, nbytes):
+        return nbytes / cache.memcpy_bytes_per_s, True
+    return disk.random_read_time_s(page_count), False

@@ -36,6 +36,7 @@ import dataclasses
 from typing import List, Optional
 
 from .cache import LruPageCache, cached_read_time_s
+from .chunk_cache import LruChunkCache, chunk_read_time_s
 from .cpu_model import CpuModel
 from .disk_model import DiskModel
 
@@ -53,12 +54,26 @@ class CostModel:
     chunk reads are charged — cache state persists across queries, which
     is the buffering effect the paper's round-robin protocol eliminates.
     The model stays frozen; only the cache object carries state.
+
+    ``chunk_cache``, when set, is a shared
+    :class:`~repro.simio.chunk_cache.LruChunkCache` charging whole-chunk
+    reads: cold reads at the full random-read price, warm hits at a
+    memory-copy rate.  It is mutually exclusive with ``cache`` — the two
+    model the same bytes at different granularities, and stacking them
+    would double-count hits.
     """
 
     disk: DiskModel = dataclasses.field(default_factory=DiskModel)
     cpu: CpuModel = dataclasses.field(default_factory=CpuModel)
     overlap_io_cpu: bool = True
     cache: Optional[LruPageCache] = None
+    chunk_cache: Optional[LruChunkCache] = None
+
+    def __post_init__(self) -> None:
+        if self.cache is not None and self.chunk_cache is not None:
+            raise ValueError(
+                "a cost model takes a page cache or a chunk cache, not both"
+            )
 
     def simulator(self) -> "PipelineSimulator":
         """A fresh per-query timeline simulator."""
@@ -120,6 +135,10 @@ class PipelineSimulator:
         if self._model.cache is not None and page_offset is not None:
             io, _ = cached_read_time_s(
                 self._model.disk, self._model.cache, page_offset, page_count
+            )
+        elif self._model.chunk_cache is not None and page_offset is not None:
+            io, _ = chunk_read_time_s(
+                self._model.disk, self._model.chunk_cache, page_offset, page_count
             )
         else:
             io = self._model.disk.random_read_time_s(page_count)

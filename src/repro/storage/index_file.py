@@ -22,6 +22,19 @@ Entry (``8 * d + 8 + 8 + 4 + 4`` bytes each)::
     page_offset : uint64
     page_count  : uint32
     n_descriptors : uint32
+
+Version 2 appends one block after the entries::
+
+    centroid_sq_norms : float64 x n_chunks
+
+the precomputed ``|centroid|^2`` terms the expanded-form distance kernel
+needs for batched chunk ranking.  The entry layout is unchanged, so a v1
+reader's per-query *ranking scan* (centroid + radius + location) covers
+exactly the entries region — which is why :func:`index_file_bytes`, the
+quantity the disk model charges at query start, deliberately excludes the
+norms tail: it is loaded once when the index is opened, not per query.
+Version 1 files remain readable; their norms are recomputed on load with
+the identical einsum formulation, so the values are bit-equal either way.
 """
 
 from __future__ import annotations
@@ -36,10 +49,20 @@ from ..core.chunk import ChunkMeta
 from .atomic import atomic_output
 from .errors import MAX_DIMENSIONS, CorruptFileError
 
-__all__ = ["write_index_file", "read_index_file", "index_file_bytes", "MAGIC"]
+__all__ = [
+    "write_index_file",
+    "read_index_file",
+    "read_index_file_with_norms",
+    "centroid_sq_norms",
+    "index_file_bytes",
+    "MAGIC",
+    "VERSION",
+]
 
 MAGIC = b"EFF2CIDX"
-VERSION = 1
+VERSION = 2
+#: Every on-disk version this reader accepts.
+SUPPORTED_VERSIONS = (1, 2)
 _HEADER = struct.Struct("<8sIIQ8s")
 #: Reject headers whose implied payload exceeds this (1 TiB) — guards
 #: against corrupted ``n_chunks``/``dims`` fields triggering huge reads.
@@ -61,15 +84,40 @@ def _entry_dtype(dimensions: int) -> np.dtype:
 
 
 def index_file_bytes(n_chunks: int, dimensions: int) -> int:
-    """Total size of an index file — this is what the disk model charges
-    for the sequential index read at the start of every query."""
+    """Size of the per-query ranking scan region (header + entries) — this
+    is what the disk model charges for the sequential index read at the
+    start of every query.  The v2 norms tail is excluded on purpose: it is
+    read once at open time, never per query, so simulated query timings are
+    identical for v1 and v2 indexes."""
     return _HEADER.size + n_chunks * _entry_dtype(dimensions).itemsize
 
 
-def write_index_file(target: PathOrFile, metas: Sequence[ChunkMeta]) -> None:
-    """Serialize chunk metadata, preserving chunk order."""
+def centroid_sq_norms(centroids: np.ndarray) -> np.ndarray:
+    """``|centroid|^2`` per chunk (float64), the expanded-form kernel's
+    point-norm terms.
+
+    This is the single formulation used everywhere norms are produced —
+    at index build, at v1 load, and inside
+    :func:`~repro.core.distance.pairwise_squared_distances` — so stored
+    and recomputed norms are bit-equal.
+    """
+    matrix = np.ascontiguousarray(centroids, dtype=np.float64)
+    return np.einsum("pd,pd->p", matrix, matrix)
+
+
+def write_index_file(
+    target: PathOrFile, metas: Sequence[ChunkMeta], version: int = VERSION
+) -> None:
+    """Serialize chunk metadata, preserving chunk order.
+
+    ``version`` selects the on-disk format: 2 (default) appends the
+    centroid-norms block; 1 writes the original layout (kept for
+    compatibility tests and tooling that must emit the paper's format).
+    """
     if not metas:
         raise ValueError("cannot write an empty index file")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"cannot write index file version {version}")
     dimensions = metas[0].centroid.shape[0]
     entries = np.empty(len(metas), dtype=_entry_dtype(dimensions))
     for i, meta in enumerate(metas):
@@ -86,21 +134,37 @@ def write_index_file(target: PathOrFile, metas: Sequence[ChunkMeta]) -> None:
         entries[i]["page_count"] = meta.page_count
         entries[i]["n_descriptors"] = meta.n_descriptors
 
-    header = _HEADER.pack(MAGIC, VERSION, dimensions, len(metas), b"\x00" * 8)
+    header = _HEADER.pack(MAGIC, version, dimensions, len(metas), b"\x00" * 8)
+    norms = b""
+    if version >= 2:
+        norms = (
+            centroid_sq_norms(np.stack([m.centroid for m in metas]))
+            .astype("<f8", copy=False)
+            .tobytes()
+        )
     if isinstance(target, (str, os.PathLike)):
         # Path target: publish atomically (write-temp, fsync, rename) so
         # a crash mid-write never leaves a truncated index behind.
         with atomic_output(target) as stream:
             stream.write(header)
             stream.write(entries.tobytes())
+            stream.write(norms)
     else:
         target.write(header)
         target.write(entries.tobytes())
+        target.write(norms)
         target.flush()
 
 
-def read_index_file(source: PathOrFile) -> List[ChunkMeta]:
-    """Load chunk metadata back, in chunk order."""
+def read_index_file_with_norms(
+    source: PathOrFile,
+) -> "tuple[List[ChunkMeta], np.ndarray]":
+    """Load chunk metadata plus the centroid-norms block, in chunk order.
+
+    A v1 file has no norms block; its norms are recomputed from the
+    centroids with the same formulation a v2 writer used, so callers see
+    identical values whichever version is on disk.
+    """
     owns = isinstance(source, (str, os.PathLike))
     stream: BinaryIO = open(source, "rb") if owns else source  # type: ignore[arg-type]
     try:
@@ -110,7 +174,7 @@ def read_index_file(source: PathOrFile) -> List[ChunkMeta]:
         magic, version, dimensions, n_chunks, _ = _HEADER.unpack(raw_header)
         if magic != MAGIC:
             raise CorruptFileError(f"bad index file magic {magic!r}")
-        if version != VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise CorruptFileError(f"unsupported index file version {version}")
         # Bound dims before deriving the entry size from it, then bound the
         # implied payload — same discipline as the collection-file reader.
@@ -129,7 +193,7 @@ def read_index_file(source: PathOrFile) -> List[ChunkMeta]:
         if len(raw) != n_chunks * dtype.itemsize:
             raise CorruptFileError("index file truncated")
         entries = np.frombuffer(raw, dtype=dtype)
-        return [
+        metas = [
             ChunkMeta(
                 chunk_id=i,
                 centroid=entries[i]["centroid"].copy(),
@@ -140,6 +204,26 @@ def read_index_file(source: PathOrFile) -> List[ChunkMeta]:
             )
             for i in range(n_chunks)
         ]
+        if version >= 2:
+            raw_norms = stream.read(n_chunks * 8)
+            if len(raw_norms) != n_chunks * 8:
+                raise CorruptFileError("index file truncated (norms block)")
+            norms = np.frombuffer(raw_norms, dtype="<f8").astype(
+                np.float64, copy=True
+            )
+            if not bool(np.all(np.isfinite(norms))) or bool(np.any(norms < 0.0)):
+                raise CorruptFileError("index file norms block is corrupt")
+        elif n_chunks:
+            norms = centroid_sq_norms(np.stack([m.centroid for m in metas]))
+        else:
+            norms = np.empty(0, dtype=np.float64)
+        return metas, norms
     finally:
         if owns:
             stream.close()
+
+
+def read_index_file(source: PathOrFile) -> List[ChunkMeta]:
+    """Load chunk metadata back, in chunk order (any supported version)."""
+    metas, _ = read_index_file_with_norms(source)
+    return metas

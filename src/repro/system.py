@@ -53,6 +53,10 @@ class ImageRetrievalSystem:
     default_stop_chunks:
         Default approximation budget (chunks per descriptor search) for
         image queries; ``None`` searches to exact completion.
+    prune:
+        Enable the triangle-inequality chunk pruner in the descriptor
+        searchers (results are identical either way; pruning only skips
+        provably fruitless host-side work).
     """
 
     def __init__(
@@ -60,12 +64,14 @@ class ImageRetrievalSystem:
         chunker: Optional[Chunker] = None,
         cost_model: CostModel = PAPER_2005_COST_MODEL,
         default_stop_chunks: Optional[int] = 4,
+        prune: bool = True,
     ):
         if default_stop_chunks is not None and default_stop_chunks < 1:
             raise ValueError("stop budget must be positive (or None for exact)")
         self._configured_chunker = chunker
         self.cost_model = cost_model
         self.default_stop_chunks = default_stop_chunks
+        self.prune = bool(prune)
         self._collection: Optional[DescriptorCollection] = None
         self._maintainer: Optional[ChunkIndexMaintainer] = None
         self._image_of_id: Dict[int, int] = {}
@@ -150,7 +156,9 @@ class ImageRetrievalSystem:
         """Descriptor-level k-NN search."""
         self._require_built()
         self._refresh()
-        searcher = ChunkSearcher(self._index, cost_model=self.cost_model)
+        searcher = ChunkSearcher(
+            self._index, cost_model=self.cost_model, prune=self.prune
+        )
         return searcher.search(query, k=k, stop_rule=self._stop_rule(exact))
 
     def find_similar_descriptors_batch(
@@ -159,17 +167,31 @@ class ImageRetrievalSystem:
         k: int = 10,
         exact: bool = False,
         workers: int = 1,
+        use_router: bool = False,
     ) -> BatchSearchResult:
         """Descriptor-level k-NN for a whole query batch at once.
 
         Runs the batch engine: chunk ranking is one vectorized pass over
         the batch, each chunk is read at most once per batch, and
         ``workers > 1`` spreads the wall-clock work over a thread pool.
-        Per-query results are identical to :meth:`find_similar_descriptors`.
+        ``use_router=True`` routes chunk ranking through coarse centroid
+        groups (O(sqrt(C)) probes per query) instead of the full centroid
+        scan.  Per-query results are identical to
+        :meth:`find_similar_descriptors` in every mode.
         """
         self._require_built()
         self._refresh()
-        searcher = BatchChunkSearcher(self._index, cost_model=self.cost_model)
+        router = None
+        if use_router:
+            from .core.routing import CentroidRouter
+
+            router = CentroidRouter.from_index(self._index)
+        searcher = BatchChunkSearcher(
+            self._index,
+            cost_model=self.cost_model,
+            prune=self.prune,
+            router=router,
+        )
         return searcher.search_batch(
             queries, k=k, stop_rule=self._stop_rule(exact), workers=workers
         )

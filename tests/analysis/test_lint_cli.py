@@ -81,6 +81,57 @@ class TestSeededViolationsAreCaught:
         assert "core/search.py:" in out
 
 
+class TestNewModulesAreCovered:
+    """The pruned-scan additions live in simulated layers: the chunk cache
+    (simio) and the router (core) must be inside the lint walk, subject to
+    the wall-clock and layering contracts like the modules around them."""
+
+    @pytest.fixture()
+    def tree_copy(self, tmp_path):
+        target = str(tmp_path / "repro")
+        shutil.copytree(package_root(), target)
+        return target
+
+    def test_new_modules_are_walked(self):
+        result = lint_tree(package_root())
+        assert result.ok
+        walked = {
+            os.path.join(root, name)
+            for root, _, names in os.walk(package_root())
+            for name in names
+        }
+        assert any(p.endswith("simio/chunk_cache.py") for p in walked)
+        assert any(p.endswith("core/routing.py") for p in walked)
+
+    def test_wall_clock_read_in_chunk_cache_caught(self, tree_copy):
+        victim = os.path.join(tree_copy, "simio", "chunk_cache.py")
+        with open(victim, "a", encoding="utf-8") as handle:
+            handle.write("\n\nimport time\n_T0 = time.time()\n")
+        result = lint_tree(tree_copy)
+        flagged = [d for d in result if d.rule == "CLK001"]
+        assert flagged
+        assert all(d.path == "simio/chunk_cache.py" for d in flagged)
+
+    def test_upward_import_in_chunk_cache_caught(self, tree_copy):
+        victim = os.path.join(tree_copy, "simio", "chunk_cache.py")
+        with open(victim, "a", encoding="utf-8") as handle:
+            handle.write("\n\nfrom ..core import search as _s\n")
+        result = lint_tree(tree_copy)
+        assert any(
+            d.rule == "LAY001" and d.path == "simio/chunk_cache.py"
+            for d in result
+        )
+
+    def test_wall_clock_read_in_router_caught(self, tree_copy):
+        victim = os.path.join(tree_copy, "core", "routing.py")
+        with open(victim, "a", encoding="utf-8") as handle:
+            handle.write("\n\nimport time\n_T0 = time.time()\n")
+        result = lint_tree(tree_copy)
+        assert any(
+            d.rule == "CLK001" and d.path == "core/routing.py" for d in result
+        )
+
+
 class TestCliOptions:
     def test_json_report(self, tmp_path, capsys):
         report_path = str(tmp_path / "lint.json")

@@ -52,6 +52,21 @@ class TestSquaredDistances:
         assert d.dtype == np.float64
         assert d[0] == pytest.approx(5.0)
 
+    def test_float32_blockwise_path_bit_identical(self):
+        """Above DEFAULT_BLOCK_ROWS the float32 input takes the blockwise
+        promotion path; every row's reduction is independent of the
+        blocking, so the result must be bit-identical to promoting the
+        whole matrix up front."""
+        from repro.core.distance import DEFAULT_BLOCK_ROWS
+
+        rng = np.random.default_rng(12)
+        n = DEFAULT_BLOCK_ROWS + 1000  # spills into a second block
+        points = rng.standard_normal((n, 4)).astype(np.float32)
+        query = rng.standard_normal(4).astype(np.float32)
+        blocked = squared_distances(query, points)
+        direct = squared_distances(query, points.astype(np.float64))
+        np.testing.assert_array_equal(blocked, direct)
+
     @given(
         hnp.arrays(
             np.float64,
@@ -109,6 +124,34 @@ class TestPairwise:
     def test_mismatch_raises(self):
         with pytest.raises(ValueError):
             pairwise_squared_distances(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    @pytest.mark.parametrize("block_rows", [0, -1])
+    def test_nonpositive_block_rows_rejected(self, block_rows):
+        with pytest.raises(ValueError, match="block_rows must be positive"):
+            pairwise_squared_distances(
+                np.zeros((2, 3)), np.zeros((4, 3)), block_rows=block_rows
+            )
+
+    def test_supplied_norms_bit_identical(self):
+        """Precomputed |p|^2 terms (the v2 index's stored norms) must give
+        the same matrix, bit for bit, as recomputing them in the kernel —
+        the property that lets stored norms feed chunk ranking."""
+        rng = np.random.default_rng(13)
+        queries = rng.standard_normal((6, 8))
+        points = rng.standard_normal((21, 8)).astype(np.float32)
+        promoted = points.astype(np.float64)
+        norms = np.einsum("pd,pd->p", promoted, promoted)
+        with_norms = pairwise_squared_distances(
+            queries, points, block_rows=7, points_sq_norms=norms
+        )
+        without = pairwise_squared_distances(queries, points, block_rows=7)
+        np.testing.assert_array_equal(with_norms, without)
+
+    def test_wrong_norms_length_rejected(self):
+        with pytest.raises(ValueError, match="point norms"):
+            pairwise_squared_distances(
+                np.zeros((2, 3)), np.zeros((4, 3)), points_sq_norms=np.zeros(3)
+            )
 
     def test_expanded_form_agrees_with_direct_form(self):
         """The |q|^2 - 2 q.p + |p|^2 kernel must agree with the direct

@@ -192,3 +192,26 @@ class TestGroundTruth:
     def test_truth_length_must_match_queries(self, harness):
         with pytest.raises(ValueError, match="ground-truth"):
             harness.service(0.5, truth=[[0]]).run(harness.queries)
+
+
+class TestRecallProxyGuards:
+    def test_zero_descriptor_index_recall_is_nan(self):
+        """The coverage proxy must not divide by a zero-descriptor total.
+
+        An index can legitimately hold zero descriptors (every image
+        filtered as an outlier); an incomplete search over it has no
+        meaningful scanned fraction, so the proxy reports NaN — the same
+        "no quality signal" marker shed requests carry — instead of
+        raising ZeroDivisionError.
+        """
+        import types
+
+        service = object.__new__(QueryService)
+        service.truth = None
+        service._total_descriptors = 0
+        request = types.SimpleNamespace(index=0)
+        incomplete = types.SimpleNamespace(completed=False)
+        assert math.isnan(service._recall_of(request, incomplete))
+        # Provable exactness needs no scanning, even over zero descriptors.
+        complete = types.SimpleNamespace(completed=True)
+        assert service._recall_of(request, complete) == 1.0

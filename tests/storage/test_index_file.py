@@ -6,10 +6,15 @@ import numpy as np
 import pytest
 
 from repro.core.chunk import ChunkMeta
+from repro.storage.errors import CorruptFileError
 from repro.storage.index_file import (
     MAGIC,
+    SUPPORTED_VERSIONS,
+    VERSION,
+    centroid_sq_norms,
     index_file_bytes,
     read_index_file,
+    read_index_file_with_norms,
     write_index_file,
 )
 
@@ -62,6 +67,17 @@ class TestRoundtrip:
         path = str(tmp_path / "chunks.idx")
         metas = make_metas(11, dims=24)
         write_index_file(path, metas)
+        # index_file_bytes is the per-query ranking-scan region (header +
+        # entries); a v2 file additionally carries the 8-byte-per-chunk
+        # centroid-norms tail, read once at open time.
+        assert os.path.getsize(path) == index_file_bytes(11, 24) + 11 * 8
+
+    def test_v1_size_matches_prediction(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "chunks.idx")
+        metas = make_metas(11, dims=24)
+        write_index_file(path, metas, version=1)
         assert os.path.getsize(path) == index_file_bytes(11, 24)
 
 
@@ -96,6 +112,82 @@ class TestValidation:
 
     def test_magic_constant(self):
         assert MAGIC == b"EFF2CIDX"
+
+
+class TestNormsBlock:
+    """The v2 centroid-norms tail: stored == recomputed, bit for bit."""
+
+    def test_current_version_is_two(self):
+        assert VERSION == 2
+        assert SUPPORTED_VERSIONS == (1, 2)
+
+    def test_v2_roundtrip_returns_stored_norms(self, tmp_path):
+        path = str(tmp_path / "v2.idx")
+        metas = make_metas(9, dims=24)
+        write_index_file(path, metas)
+        loaded, norms = read_index_file_with_norms(path)
+        assert len(loaded) == 9
+        want = centroid_sq_norms(np.stack([m.centroid for m in metas]))
+        np.testing.assert_array_equal(norms, want)  # bitwise, not approx
+
+    def test_v1_norms_recomputed_bit_equal(self, tmp_path):
+        v1 = str(tmp_path / "v1.idx")
+        v2 = str(tmp_path / "v2.idx")
+        metas = make_metas(9, dims=24)
+        write_index_file(v1, metas, version=1)
+        write_index_file(v2, metas, version=2)
+        _, norms_v1 = read_index_file_with_norms(v1)
+        _, norms_v2 = read_index_file_with_norms(v2)
+        np.testing.assert_array_equal(norms_v1, norms_v2)
+
+    def test_v1_file_still_readable(self, tmp_path):
+        path = str(tmp_path / "v1.idx")
+        metas = make_metas(5)
+        write_index_file(path, metas, version=1)
+        loaded = read_index_file(path)
+        assert [m.chunk_id for m in loaded] == [m.chunk_id for m in metas]
+
+    def test_unsupported_write_version_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="version"):
+            write_index_file(str(tmp_path / "x.idx"), make_metas(2), version=3)
+
+    def test_unsupported_read_version_rejected(self):
+        import struct
+
+        stream = io.BytesIO()
+        write_index_file(stream, make_metas(2))
+        data = bytearray(stream.getvalue())
+        struct.pack_into("<I", data, 8, 7)  # header: <8sIIQ8s, version at 8
+        with pytest.raises(CorruptFileError, match="version"):
+            read_index_file(io.BytesIO(bytes(data)))
+
+    def test_truncated_norms_block_rejected(self, tmp_path):
+        path = str(tmp_path / "t.idx")
+        write_index_file(path, make_metas(5))
+        with open(path, "r+b") as f:
+            size = f.seek(0, 2)
+            f.truncate(size - 4)  # clips the norms tail, entries intact
+        with pytest.raises(CorruptFileError, match="norms block"):
+            read_index_file_with_norms(path)
+
+    def test_corrupt_norms_rejected(self, tmp_path):
+        path = str(tmp_path / "c.idx")
+        metas = make_metas(3, dims=4)
+        write_index_file(path, metas)
+        with open(path, "r+b") as f:
+            f.seek(-8, 2)  # last norm -> NaN
+            f.write(np.float64(np.nan).tobytes())
+        with pytest.raises(CorruptFileError, match="norms block is corrupt"):
+            read_index_file_with_norms(path)
+
+    def test_negative_norms_rejected(self, tmp_path):
+        path = str(tmp_path / "n.idx")
+        write_index_file(path, make_metas(3, dims=4))
+        with open(path, "r+b") as f:
+            f.seek(-8, 2)
+            f.write(np.float64(-1.0).tobytes())
+        with pytest.raises(CorruptFileError, match="norms block is corrupt"):
+            read_index_file_with_norms(path)
 
 
 class TestHeaderGuards:
