@@ -1,18 +1,26 @@
 """Repo-specific static analysis: the ``repro lint`` invariant checker.
 
-This package walks the ``repro`` AST and enforces contracts no
-off-the-shelf linter knows about — the invariants the reproduction's
-correctness rests on:
+This package builds a whole-program model of the ``repro`` tree — a
+project symbol table, an import/call graph, and a contract index — and
+enforces invariants no off-the-shelf linter knows about:
 
 * **CLK001** simulated-clock discipline: no wall-clock reads in the
   simulated-cost layers (``core``/``simio``/``storage``/``chunking``/
   ``srtree``);
 * **RNG001-003** determinism: no legacy ``np.random`` global state, no
   stdlib ``random`` module calls, no unseeded ``default_rng()``;
+* **RNG101-102** seed provenance (whole-program): generators must trace
+  to the run's root ``SeedSequence``; one seed must not fan out to two
+  consumers without ``spawn()``;
 * **DTY001-002** dtype contracts: no literal float32 into the distance
   kernels; public ndarray-returning functions declare their dtype;
 * **LAY001** layer boundaries: the import DAG stays acyclic and the
-  algorithmic layers never import the application shell.
+  algorithmic layers never import the application shell;
+* **SIM101-102** time-unit taint (whole-program): simulated seconds and
+  host seconds must never be mixed or reach the wrong sink;
+* **EXA001-003** exactness contracts: ``# repro: exact`` code must not
+  reach approximate APIs without a waiver, and state mutated on the
+  ``run_parallel`` path must be owned.
 
 Run it as ``repro lint`` or ``python -m repro.analysis``.  This package
 intentionally imports nothing from the rest of ``repro`` (enforced by
@@ -20,10 +28,19 @@ LAY001 on itself), so it can lint a tree whose simulated layers are
 broken.
 """
 
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .config import LintConfig, default_config
 from .diagnostics import Diagnostic, render_json, render_text
 from .rules import RULE_IDS, all_rules, select_rules
-from .runner import LintResult, lint_file, lint_source, lint_tree, package_root
+from .runner import (
+    LintResult,
+    lint_file,
+    lint_source,
+    lint_sources,
+    lint_tree,
+    package_root,
+)
+from .sarif import render_sarif
 
 __all__ = [
     "Diagnostic",
@@ -31,12 +48,17 @@ __all__ = [
     "LintResult",
     "RULE_IDS",
     "all_rules",
+    "apply_baseline",
     "default_config",
     "lint_file",
     "lint_source",
+    "lint_sources",
     "lint_tree",
+    "load_baseline",
     "package_root",
     "render_json",
+    "render_sarif",
     "render_text",
     "select_rules",
+    "write_baseline",
 ]

@@ -1,0 +1,88 @@
+"""Baseline / ratchet: land strict rules without a flag-day cleanup.
+
+``repro lint --write-baseline`` records the current diagnostics into
+``.repro-lint-baseline.json``; subsequent runs subtract the baseline and
+fail only on **new** findings.  The contract is a ratchet: the baseline
+may shrink (fix a legacy finding, regenerate) but any growth is a
+regression the gate catches.
+
+Fingerprints are ``path::rule::message`` — deliberately *line-free*, so
+unrelated edits that shift line numbers do not resurrect baselined
+findings.  Multiple identical findings are counted: a baseline entry
+with count 2 absorbs at most two matching diagnostics, so adding a third
+instance of an already-baselined bug still fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+#: Schema version of the baseline file (bump on incompatible change).
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    return f"{diagnostic.path}::{diagnostic.rule}::{diagnostic.message}"
+
+
+def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> int:
+    """Record ``diagnostics`` as the accepted baseline; returns count."""
+    counts: Dict[str, int] = {}
+    for diagnostic in sorted(diagnostics):
+        key = fingerprint(diagnostic)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": len(diagnostics),
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return len(diagnostics)
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Fingerprint counts from a baseline file (empty if absent)."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"not a repro-lint baseline file: {path}")
+    fingerprints = payload["fingerprints"]
+    return {str(key): int(value) for key, value in fingerprints.items()}
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Dict[str, int]
+) -> Tuple[List[Diagnostic], int]:
+    """Split into (new findings, suppressed count).
+
+    Diagnostics are consumed against the baseline in sorted order, so
+    which instance of a duplicated finding counts as "new" is
+    deterministic (the later ones)."""
+    remaining = dict(baseline)
+    fresh: List[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in sorted(diagnostics):
+        key = fingerprint(diagnostic)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(diagnostic)
+    return fresh, suppressed

@@ -4,7 +4,8 @@ Kept here (not in :mod:`repro.cli`) so the checker remains runnable as a
 standalone module on a tree whose other layers do not import, and so the
 two entry points share one definition of the flags.
 
-Exit codes: 0 clean, 1 violations found, 2 usage/environment error.
+Exit codes: 0 clean (or all findings baselined), 1 new violations found,
+2 usage/environment error.
 """
 
 from __future__ import annotations
@@ -14,9 +15,16 @@ import os
 import sys
 from typing import List, Optional
 
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .diagnostics import render_json, render_text, summarize
 from .rules import RULE_CLASSES, RULE_IDS, select_rules
-from .runner import lint_tree, package_root
+from .runner import LintResult, lint_tree, package_root
+from .sarif import render_sarif
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
 
@@ -42,6 +50,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the report to a file instead of stdout",
     )
     parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report (GitHub code scanning)",
+    )
+    parser.add_argument(
         "--rules",
         default=None,
         help=f"comma-separated rule ids to run (default: all of {','.join(RULE_IDS)})",
@@ -51,6 +65,94 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule ids and summaries, then exit",
     )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print the full rationale for one rule id, then exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "baseline file of accepted findings (default: "
+            f"{DEFAULT_BASELINE_NAME} next to the linted tree, if present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the accepted baseline and exit 0",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase and per-rule timings to stderr",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache parsed ASTs here, keyed on source hash (speeds reruns)",
+    )
+
+
+def _explain(rule_id: str) -> int:
+    for cls in RULE_CLASSES:
+        if cls.id == rule_id:
+            print(f"{cls.id} — {cls.summary}")
+            if cls.rationale:
+                print()
+                print(cls.rationale)
+            return 0
+    print(
+        f"repro lint: error: unknown rule {rule_id!r} "
+        f"(known: {','.join(RULE_IDS)})",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _baseline_path(args: argparse.Namespace, root: str) -> str:
+    """Resolve the baseline file path for this run.
+
+    An explicit ``--baseline`` wins; otherwise the default name is looked
+    up next to the linted tree's parent (the repo layout keeps it at the
+    repo root, two levels above ``src/repro``) and finally in the CWD.
+    """
+    if args.baseline:
+        return args.baseline
+    candidates = [
+        os.path.join(root, DEFAULT_BASELINE_NAME),
+        os.path.join(os.path.dirname(os.path.dirname(root)), DEFAULT_BASELINE_NAME),
+        DEFAULT_BASELINE_NAME,
+    ]
+    for candidate in candidates:
+        if os.path.exists(candidate):
+            return candidate
+    return DEFAULT_BASELINE_NAME
+
+
+def _print_profile(result: LintResult) -> None:
+    total = sum(result.phase_timings.values())
+    print("phase timings:", file=sys.stderr)
+    for phase in ("parse", "symbols", "callgraph", "rules"):
+        seconds = result.phase_timings.get(phase, 0.0)
+        print(f"  {phase:<10} {seconds * 1000.0:8.1f} ms", file=sys.stderr)
+    print(f"  {'total':<10} {total * 1000.0:8.1f} ms", file=sys.stderr)
+    if result.rule_timings:
+        print("rule timings:", file=sys.stderr)
+        ordered = sorted(
+            result.rule_timings.items(), key=lambda item: (-item[1], item[0])
+        )
+        for rule_id, seconds in ordered:
+            print(f"  {rule_id:<10} {seconds * 1000.0:8.1f} ms", file=sys.stderr)
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -59,6 +161,8 @@ def run_lint(args: argparse.Namespace) -> int:
         for cls in RULE_CLASSES:
             print(f"{cls.id}  {cls.summary}")
         return 0
+    if args.explain:
+        return _explain(args.explain)
 
     try:
         rule_ids: Optional[List[str]] = (
@@ -76,31 +180,60 @@ def run_lint(args: argparse.Namespace) -> int:
         print(f"repro lint: error: not a directory: {root}", file=sys.stderr)
         return 2
 
-    result = lint_tree(root, rules=rules)
+    result = lint_tree(root, rules=rules, cache_dir=args.cache_dir)
+    if args.profile:
+        _print_profile(result)
+
+    baseline_path = _baseline_path(args, root)
+    if args.write_baseline:
+        count = write_baseline(baseline_path, result.diagnostics)
+        print(
+            f"wrote baseline with {count} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    diagnostics = result.diagnostics
+    suppressed = 0
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"repro lint: error: {exc}", file=sys.stderr)
+            return 2
+        if baseline:
+            diagnostics, suppressed = apply_baseline(diagnostics, baseline)
+
     if args.lint_format == "json":
         report = render_json(
-            result.diagnostics,
+            diagnostics,
             checked_files=result.checked_files,
             rules=result.rules,
         )
     else:
-        report = render_text(result.diagnostics)
+        report = render_text(diagnostics)
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
     elif report:
         print(report)
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(diagnostics, rules) + "\n")
     if args.lint_format == "text":
-        print(summarize(result.diagnostics, result.checked_files), file=sys.stderr)
-    return 0 if result.ok else 1
+        summary = summarize(diagnostics, result.checked_files)
+        if suppressed:
+            summary += f" ({suppressed} baselined finding(s) suppressed)"
+        print(summary, file=sys.stderr)
+    return 0 if not diagnostics else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Standalone entry point (``python -m repro.analysis``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="AST-based invariant checker for the repro package",
+        description="whole-program invariant checker for the repro package",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

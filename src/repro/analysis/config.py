@@ -93,6 +93,55 @@ MODERN_NP_RANDOM: FrozenSet[str] = frozenset(
 #: instantiating an explicitly seeded ``random.Random(seed)`` is fine.
 SEEDED_STDLIB_RANDOM: FrozenSet[str] = frozenset({"Random", "SystemRandom"})
 
+#: Time-unit taint roots: canonical dotted names whose float results carry
+#: a unit.  ``host`` is wall-clock seconds (hardware-dependent), ``sim``
+#: is simulated seconds (deterministic, advanced by the cost models).
+#: The whole-program analyzer propagates these units through calls,
+#: returns, parameters and stored attributes; everything else starts
+#: unitless.
+TIME_UNIT_SOURCES: Mapping[str, str] = {
+    # Wall clock — the only place host-seconds may legitimately originate.
+    "time.time": "host",
+    "time.monotonic": "host",
+    "time.perf_counter": "host",
+    "time.process_time": "host",
+    "time.thread_time": "host",
+    "repro.simio.clock.WallClock.now": "host",
+    # Simulated clock and the cost models that advance it.
+    "repro.simio.clock.SimulatedClock.now": "sim",
+    "repro.simio.pipeline.PipelineSimulator.start_query": "sim",
+    "repro.simio.pipeline.PipelineSimulator.process_chunk": "sim",
+    "repro.simio.pipeline.PipelineSimulator.skip_chunk": "sim",
+    "repro.simio.pipeline.PipelineSimulator.elapsed": "sim",
+    "repro.simio.chunk_cache.chunk_read_time_s": "sim",
+    "repro.simio.cache.cached_read_time_s": "sim",
+    "repro.simio.disk_model.DiskModel.positioning_time_s": "sim",
+    "repro.simio.disk_model.DiskModel.transfer_time_s": "sim",
+    "repro.simio.disk_model.DiskModel.random_read_time_s": "sim",
+    "repro.simio.disk_model.DiskModel.sequential_read_time_s": "sim",
+    "repro.simio.cpu_model.CpuModel.chunk_processing_time_s": "sim",
+    "repro.simio.cpu_model.CpuModel.ranking_time_s": "sim",
+    "repro.faults.plan.FaultPlan.backoff_delay_s": "sim",
+}
+
+#: Time-unit sinks: canonical dotted callables whose first non-self
+#: argument must carry the stated unit.  Passing the *other* real unit is
+#: the cross-layer plumbing bug SIM102 exists for (e.g. a simulated
+#: timestamp fed to ``time.sleep``).
+TIME_UNIT_SINKS: Mapping[str, str] = {
+    "time.sleep": "host",
+    "repro.simio.clock.SimulatedClock.advance": "sim",
+    "repro.simio.clock.SimulatedClock.advance_to": "sim",
+}
+
+#: Entropy-consuming constructors and the argument that receives the
+#: seed: canonical dotted name -> (positional index, keyword name).
+SEED_SLOTS: Mapping[str, Tuple[int, str]] = {
+    "numpy.random.default_rng": (0, "seed"),
+    "numpy.random.SeedSequence": (0, "entropy"),
+    "random.Random": (0, "x"),
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class LintConfig:
@@ -108,6 +157,15 @@ class LintConfig:
     dtype_words: Tuple[str, ...] = DTYPE_WORDS
     modern_np_random: FrozenSet[str] = MODERN_NP_RANDOM
     seeded_stdlib_random: FrozenSet[str] = SEEDED_STDLIB_RANDOM
+    time_unit_sources: Mapping[str, str] = dataclasses.field(
+        default_factory=lambda: dict(TIME_UNIT_SOURCES)
+    )
+    time_unit_sinks: Mapping[str, str] = dataclasses.field(
+        default_factory=lambda: dict(TIME_UNIT_SINKS)
+    )
+    seed_slots: Mapping[str, Tuple[int, str]] = dataclasses.field(
+        default_factory=lambda: dict(SEED_SLOTS)
+    )
 
     def layer_of(self, relpath: str) -> str:
         """Layer name for a package-relative posix path.

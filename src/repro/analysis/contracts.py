@@ -1,0 +1,286 @@
+"""Exactness contracts (EXA0xx): call-graph enforcement of ``# repro:``
+annotations.
+
+PR 5 proved the pruned/routed/cached scan paths bit-identical to the
+exact engine; that equivalence is a *social* contract between functions
+— "this helper never changes results" — which nothing enforced.  Now it
+is declared in source::
+
+    # repro: exact
+    def exact_remaining_lb(self) -> float: ...
+
+    # repro: approximate
+    def check(self, progress: SearchProgress) -> ...:  # epsilon stop rule
+
+and the analyzer walks the call graph:
+
+* **EXA001** — a function marked ``exact`` calls (directly or through
+  any chain of unmarked helpers) a function marked ``approximate``.
+  A call site annotated ``# repro: allow-approximate`` is an explicit,
+  reviewed waiver and is skipped — and also stops propagation through
+  unmarked helpers, so one vetted crossing does not taint every caller.
+* **EXA002** — a malformed contract comment: an unknown tag, or a def
+  carrying both ``exact`` and ``approximate``.  Misspelled contracts
+  silently enforce nothing, which is worse than none.
+* **EXA003** — concurrency ownership on the thread-sharded path: a
+  worker callable handed to :func:`repro.parallel.run_parallel` mutates
+  (subscript-stores into) a variable captured from the enclosing scope
+  without a ``# repro: owns(name)`` declaration.  Shards writing into a
+  shared numpy buffer without declared ownership is exactly the data
+  race the per-shard-cache design exists to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph, CallSite
+from .diagnostics import Diagnostic
+from .symbols import KNOWN_TAGS, SymbolTable
+
+__all__ = [
+    "check_contract_tags",
+    "check_exactness",
+    "check_parallel_ownership",
+    "RUN_PARALLEL",
+]
+
+RUN_PARALLEL = "repro.parallel.run_parallel"
+_OWNS_PREFIX = "owns("
+
+
+def _is_known_tag(tag: str) -> bool:
+    return tag in KNOWN_TAGS or (tag.startswith(_OWNS_PREFIX) and tag.endswith(")"))
+
+
+def check_contract_tags(symbols: SymbolTable) -> List[Diagnostic]:
+    """EXA002: unknown tags and exact+approximate double-marking."""
+    diagnostics: List[Diagnostic] = []
+    for relpath in sorted(symbols.by_relpath):
+        info = symbols.by_relpath[relpath]
+        for line, tags in info.contracts.lines():
+            for tag in tags:
+                if not _is_known_tag(tag):
+                    diagnostics.append(
+                        Diagnostic(
+                            path=relpath,
+                            line=line,
+                            col=0,
+                            rule="EXA002",
+                            message=(
+                                f"unknown contract tag '# repro: {tag}'; valid "
+                                f"tags: exact, approximate, allow-approximate, "
+                                f"owns(name)"
+                            ),
+                        )
+                    )
+            if "exact" in tags and "approximate" in tags:
+                diagnostics.append(
+                    Diagnostic(
+                        path=relpath,
+                        line=line,
+                        col=0,
+                        rule="EXA002",
+                        message="a function cannot be both exact and approximate",
+                    )
+                )
+    return diagnostics
+
+
+def _waived(site: CallSite, symbols: SymbolTable) -> bool:
+    info = symbols.by_relpath.get(site.relpath)
+    if info is None:
+        return False
+    return "allow-approximate" in info.contracts.tags_on(site.node.lineno)
+
+
+def _reaches_approximate(
+    symbols: SymbolTable, graph: CallGraph
+) -> Dict[str, Tuple[str, ...]]:
+    """For every function, the witness path of qualnames by which it
+    reaches an ``approximate``-marked function, if it does.
+
+    ``exact``-marked functions do not propagate (they are flagged at
+    their own call sites instead); waived call sites cut the chain.
+    """
+    reaches: Dict[str, Tuple[str, ...]] = {}
+    for fn in symbols.sorted_functions():
+        if fn.contract == "approximate":
+            reaches[fn.qualname] = (fn.qualname,)
+    changed = True
+    while changed:
+        changed = False
+        for fn in symbols.sorted_functions():
+            if fn.contract is not None or fn.qualname in reaches:
+                continue
+            for site in graph.calls_from(fn.qualname):
+                if site.resolved is None:
+                    continue
+                path = reaches.get(site.resolved.qualname)
+                if path is None or _waived(site, symbols):
+                    continue
+                reaches[fn.qualname] = (fn.qualname,) + path
+                changed = True
+                break
+    return reaches
+
+
+def check_exactness(symbols: SymbolTable, graph: CallGraph) -> List[Diagnostic]:
+    """EXA001: exact code reaching approximate APIs without a waiver."""
+    reaches = _reaches_approximate(symbols, graph)
+    diagnostics: List[Diagnostic] = []
+    for fn in symbols.sorted_functions():
+        if fn.contract != "exact":
+            continue
+        for site in graph.calls_from(fn.qualname):
+            if site.resolved is None or _waived(site, symbols):
+                continue
+            callee = site.resolved.qualname
+            path = reaches.get(callee)
+            if path is None:
+                continue
+            if len(path) == 1:
+                detail = f"calls approximate {callee}()"
+            else:
+                detail = (
+                    f"reaches approximate {path[-1]}() via "
+                    + " -> ".join(p.rsplit(".", 2)[-1] for p in path[:-1])
+                )
+            diagnostics.append(
+                Diagnostic(
+                    path=site.relpath,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    rule="EXA001",
+                    message=(
+                        f"exact-marked {fn.qualname}() {detail}; add "
+                        f"'# repro: allow-approximate' if this crossing is "
+                        f"intended, or fix the exactness claim"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# EXA003 — run_parallel worker ownership
+# ---------------------------------------------------------------------------
+
+
+def _worker_node(site: CallSite, symbols: SymbolTable) -> Optional[ast.AST]:
+    """The worker callable's AST: a lambda argument, or a nested def in
+    the calling function with the referenced name."""
+    if not site.node.args:
+        return None
+    worker = site.node.args[0]
+    if isinstance(worker, ast.Lambda):
+        return worker
+    if isinstance(worker, ast.Name):
+        caller = symbols.functions.get(site.caller)
+        scope = caller.node if caller is not None else None
+        if scope is None:
+            info = symbols.modules.get(site.caller)
+            scope = info.tree if info is not None else None
+        if scope is not None:
+            for node in ast.walk(scope):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == worker.id
+                ):
+                    return node
+    return None
+
+
+def _local_names(worker: ast.AST) -> Set[str]:
+    """Names the worker owns by construction: parameters and anything it
+    assigns whole (not element-wise) inside its own body."""
+    names: Set[str] = set()
+    args = getattr(worker, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            names.add(arg.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+    body = worker.body if isinstance(worker.body, list) else [worker.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for name_node in ast.walk(item.optional_vars):
+                            if isinstance(name_node, ast.Name):
+                                names.add(name_node.id)
+    return names
+
+
+def check_parallel_ownership(
+    symbols: SymbolTable, graph: CallGraph
+) -> List[Diagnostic]:
+    """EXA003: captured-variable mutation inside run_parallel workers."""
+    diagnostics: List[Diagnostic] = []
+    for site in graph.callers_of(RUN_PARALLEL):
+        worker = _worker_node(site, symbols)
+        if worker is None:
+            continue
+        info = symbols.by_relpath.get(site.relpath)
+        owned: Set[str] = set()
+        if info is not None:
+            for line in (
+                site.node.lineno,
+                getattr(worker, "lineno", site.node.lineno),
+            ):
+                owned.update(info.contracts.owned_on(line))
+                owned.update(info.contracts.owned_on(line - 1))
+        local = _local_names(worker)
+        body = worker.body if isinstance(worker.body, list) else [worker.body]
+        seen: Set[Tuple[int, int, str]] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                target: Optional[ast.AST] = None
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                    for t in targets:
+                        if isinstance(t, ast.Subscript):
+                            target = t
+                            break
+                if target is None:
+                    continue
+                base = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if not isinstance(base, ast.Name):
+                    continue
+                name = base.id
+                if name in local or name in owned or name == "self":
+                    continue
+                key = (node.lineno, node.col_offset, name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                diagnostics.append(
+                    Diagnostic(
+                        path=site.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="EXA003",
+                        message=(
+                            f"run_parallel worker mutates captured '{name}' "
+                            f"without declared ownership; threads sharing a "
+                            f"buffer race unless a '# repro: owns({name})' "
+                            f"comment documents single-writer ownership"
+                        ),
+                    )
+                )
+    return diagnostics

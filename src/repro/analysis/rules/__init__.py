@@ -1,23 +1,36 @@
 """Rule registry for ``repro lint``.
 
-Four invariant families, seven rules.  :func:`all_rules` returns fresh
-instances; :data:`RULE_IDS` is the stable id list used by ``--rules``
-validation and the JSON report.
+Two kinds of rules: per-file rules (CLK/RNG00x/DTY/LAY — one parsed
+module at a time) and whole-program rules (SIM/RNG1xx/EXA — symbol
+table + call graph, built once per run).  :func:`all_rules` returns
+fresh instances of both; the runner dispatches on the kind.
+:data:`RULE_IDS` is the stable id list used by ``--rules`` validation
+and the JSON report.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from .base import FileContext, ImportTable, Rule, resolve_call_target
+from .base import FileContext, ImportTable, ProjectRule, Rule, resolve_call_target
 from .determinism import LegacyNumpyRandomRule, StdlibRandomRule, UnseededRngRule
 from .dtype import ArrayDtypeDeclarationRule, Float32IntoKernelRule
 from .layering import LayerBoundaryRule
+from .project_rules import (
+    ContractTagRule,
+    ExactnessContractRule,
+    ParallelOwnershipRule,
+    SeedFanoutRule,
+    SeedNonRootRule,
+    TimeUnitMixRule,
+    WallClockSinkRule,
+)
 from .wall_clock import WallClockRule
 
 __all__ = [
     "FileContext",
     "ImportTable",
+    "ProjectRule",
     "Rule",
     "resolve_call_target",
     "all_rules",
@@ -34,6 +47,13 @@ RULE_CLASSES = (
     Float32IntoKernelRule,
     ArrayDtypeDeclarationRule,
     LayerBoundaryRule,
+    TimeUnitMixRule,
+    WallClockSinkRule,
+    SeedNonRootRule,
+    SeedFanoutRule,
+    ExactnessContractRule,
+    ContractTagRule,
+    ParallelOwnershipRule,
 )
 
 RULE_IDS: List[str] = [cls.id for cls in RULE_CLASSES]

@@ -5,96 +5,33 @@ and a ``check`` method that yields :class:`Diagnostic` objects for one
 parsed module.  Rules never see raw files — the runner hands them a
 :class:`FileContext` carrying the parsed AST, the package-relative path,
 the resolved layer and an :class:`ImportTable` for name resolution.
+
+Whole-program rules subclass :class:`ProjectRule` instead and receive
+the project context (symbol table + call graph) from the runner; their
+``check`` is never called.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator
 
 from ..config import LintConfig
 from ..diagnostics import Diagnostic
+from ..imports import ImportTable, canonicalize, resolve_call_target
 
-__all__ = ["FileContext", "ImportTable", "Rule", "resolve_call_target"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import ProjectContext
 
-
-class ImportTable:
-    """Maps local names to the dotted module/attribute paths they import.
-
-    The table flattens scope: an import inside a function binds the name
-    for the whole file.  That is deliberately conservative — the linter
-    asks "could this name refer to ``time.perf_counter``?", and a
-    function-local import makes the answer yes.
-
-    Examples of recorded bindings::
-
-        import time                      ->  {"time": "time"}
-        import numpy as np               ->  {"np": "numpy"}
-        from time import perf_counter    ->  {"perf_counter": "time.perf_counter"}
-        from numpy import random as npr  ->  {"npr": "numpy.random"}
-        from ..simio import clock        ->  {"clock": "repro.simio.clock"}
-    """
-
-    def __init__(self, module: ast.Module, module_package: str):
-        #: dotted path of the package containing this module, used to
-        #: resolve relative imports ("repro.core" for repro/core/search.py).
-        self._module_package = module_package
-        self.bindings: Dict[str, str] = {}
-        for node in ast.walk(module):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    # "import a.b.c" binds "a" (to package a) unless aliased.
-                    target = alias.name if alias.asname else alias.name.split(".")[0]
-                    self.bindings[local] = target
-            elif isinstance(node, ast.ImportFrom):
-                base = self._resolve_from_base(node)
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    local = alias.asname or alias.name
-                    self.bindings[local] = f"{base}.{alias.name}" if base else alias.name
-
-    def _resolve_from_base(self, node: ast.ImportFrom) -> str:
-        if node.level == 0:
-            return node.module or ""
-        # Relative import: walk ``level`` packages up from the module's
-        # package, then append the explicit module path (if any).
-        parts = self._module_package.split(".") if self._module_package else []
-        if node.level - 1 > 0:
-            parts = parts[: -(node.level - 1)] if node.level - 1 <= len(parts) else []
-        base = ".".join(parts)
-        if node.module:
-            base = f"{base}.{node.module}" if base else node.module
-        return base
-
-    def resolve(self, name: str) -> Optional[str]:
-        """Dotted import path bound to ``name``, or ``None``."""
-        return self.bindings.get(name)
-
-
-def resolve_call_target(func: ast.expr, imports: ImportTable) -> Optional[str]:
-    """Best-effort dotted path of a call target expression.
-
-    ``np.random.rand`` with ``import numpy as np`` resolves to
-    ``"numpy.random.rand"``; a bare ``perf_counter`` imported from
-    :mod:`time` resolves to ``"time.perf_counter"``.  Returns ``None``
-    for targets rooted in local variables (attribute chains whose base is
-    not an imported name).
-    """
-    chain: List[str] = []
-    node = func
-    while isinstance(node, ast.Attribute):
-        chain.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    base = imports.resolve(node.id)
-    if base is None:
-        return None
-    chain.append(base)
-    return ".".join(reversed(chain))
+__all__ = [
+    "FileContext",
+    "ImportTable",
+    "ProjectRule",
+    "Rule",
+    "canonicalize",
+    "resolve_call_target",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -107,6 +44,12 @@ class FileContext:
     tree: ast.Module
     imports: ImportTable
     config: LintConfig
+    #: project-wide ``__init__`` re-export map (empty for standalone
+    #: single-file lints); lets LAY001 see through re-exported symbols.
+    reexports: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def canonical(self, dotted: str) -> str:
+        return canonicalize(dotted, self.reexports)
 
     def diagnostic(
         self, node: ast.AST, rule: str, message: str
@@ -121,13 +64,34 @@ class FileContext:
 
 
 class Rule:
-    """Base class: subclasses set ``id``/``summary`` and implement ``check``."""
+    """Base class: subclasses set ``id``/``summary`` and implement ``check``.
+
+    ``rationale`` is the long-form explanation printed by ``repro lint
+    --explain RULE`` — why the invariant exists, not just what it bans.
+    """
 
     id: str = ""
     summary: str = ""
+    rationale: str = ""
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Rule {self.id}: {self.summary}>"
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole program, not one file.
+
+    The runner builds one :class:`~repro.analysis.project.ProjectContext`
+    per lint run (symbol table, call graph, cached taint results) and
+    calls ``check_project`` once; diagnostics are then routed through the
+    same suppression/baseline machinery as per-file findings.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError

@@ -35,6 +35,13 @@ def _call_target(node: ast.Call, ctx: FileContext) -> Optional[str]:
 class LegacyNumpyRandomRule(Rule):
     id = "RNG001"
     summary = "legacy numpy.random global-state call; use default_rng(seed)"
+    rationale = (
+        "np.random.rand/seed/shuffle share one process-global stream: any\n"
+        "library call anywhere can perturb it, so runs stop being\n"
+        "bit-identical the moment an import order changes.  Every draw\n"
+        "must flow from an explicitly seeded np.random.default_rng(seed)\n"
+        "instance owned by the caller."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
@@ -59,6 +66,12 @@ class LegacyNumpyRandomRule(Rule):
 class StdlibRandomRule(Rule):
     id = "RNG002"
     summary = "stdlib random module-level call; use a seeded random.Random"
+    rationale = (
+        "random.random()/random.shuffle() draw from the stdlib's shared\n"
+        "global generator — the same cross-talk problem as legacy numpy\n"
+        "global state.  An explicitly seeded random.Random(seed) instance\n"
+        "is fine; the module-level API is not."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
@@ -81,6 +94,12 @@ class StdlibRandomRule(Rule):
 class UnseededRngRule(Rule):
     id = "RNG003"
     summary = "default_rng() without a seed argument is nondeterministic"
+    rationale = (
+        "default_rng() with no seed (or seed=None) initializes from OS\n"
+        "entropy: two runs diverge by construction, and the divergence\n"
+        "surfaces far from the call site as flaky quality numbers.  Pass\n"
+        "an explicit seed derived from the run's root."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):

@@ -22,6 +22,17 @@ __all__ = ["LayerBoundaryRule"]
 class LayerBoundaryRule(Rule):
     id = "LAY001"
     summary = "import crosses a forbidden layer boundary"
+    rationale = (
+        "The algorithmic layers (core, simio, storage, chunking, srtree)\n"
+        "must stay importable without dragging in the application shell\n"
+        "(experiments, extensions, system, cli), and simio must not know\n"
+        "about core so the cost models stay reusable.  One convenience\n"
+        "import turns the DAG into a ball of mud that blocks the scaling\n"
+        "refactors the ROADMAP plans.  In whole-program runs the check\n"
+        "resolves names re-exported through package __init__ files to\n"
+        "their defining module, so a shell symbol re-exported at top level\n"
+        "no longer slips through."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         forbidden = ctx.config.forbidden_imports.get(ctx.layer)
@@ -49,16 +60,21 @@ def _imported_modules(ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
-                yield node, alias.name
+                yield node, ctx.canonical(alias.name)
         elif isinstance(node, ast.ImportFrom):
             base = _resolve_relative(node, ctx.module_package)
             if base is None:
                 continue
             if not node.names or node.names[0].name == "*":
-                yield node, base
+                yield node, ctx.canonical(base)
                 continue
             for alias in node.names:
-                yield node, f"{base}.{alias.name}" if base else alias.name
+                # Canonicalize through the project re-export map: a name
+                # imported "from .. import x" may be defined modules away
+                # (re-exported by an __init__), and the boundary check
+                # must see the *defining* layer.
+                dotted = f"{base}.{alias.name}" if base else alias.name
+                yield node, ctx.canonical(dotted)
 
 
 def _resolve_relative(node: ast.ImportFrom, module_package: str) -> Optional[str]:

@@ -1,10 +1,22 @@
-"""The lint runner: walk a package tree, run rules, filter suppressions.
+"""The lint runner: parse a tree, build the program model, run rules.
 
 Entry points, from narrow to wide:
 
 * :func:`lint_source` — one in-memory module (unit tests, fixtures);
+* :func:`lint_sources` — several in-memory modules as one program
+  (fixtures for the inter-procedural rule families);
 * :func:`lint_file` — one file on disk;
 * :func:`lint_tree` — a whole package directory (what the CLI runs).
+
+A run has four phases, each timed for ``--profile``:
+
+1. **parse** — read every file, parse to AST (optionally through an
+   on-disk cache keyed on the source hash);
+2. **symbols** — build the project :class:`SymbolTable` (defs, classes,
+   contracts, the ``__init__`` re-export map);
+3. **callgraph** — attribute typing + resolved call edges;
+4. **rules** — per-file rules on each module, then whole-program rules
+   on the project context, all filtered through inline suppressions.
 
 The runner is deliberately independent of the rest of ``repro`` — it
 imports nothing from the simulated layers, so it can lint a broken tree.
@@ -13,24 +25,52 @@ imports nothing from the simulated layers, so it can lint a broken tree.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
-from typing import Iterable, Iterator, List, Optional, Sequence
+import pickle
+import sys
+import time
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .config import LintConfig, default_config
 from .diagnostics import Diagnostic
-from .rules import FileContext, ImportTable, Rule, all_rules
+from .imports import ImportTable
+from .project import ProjectContext
+from .rules import FileContext, ProjectRule, Rule, all_rules
 from .suppressions import parse_suppressions
 
-__all__ = ["LintResult", "lint_source", "lint_file", "lint_tree", "package_root"]
+__all__ = [
+    "LintResult",
+    "lint_source",
+    "lint_sources",
+    "lint_file",
+    "lint_tree",
+    "package_root",
+]
+
+#: Bump to invalidate every on-disk AST cache entry (format change).
+_CACHE_SCHEMA = 2
 
 
 class LintResult:
     """Diagnostics plus the bookkeeping the reports need."""
 
-    def __init__(self, diagnostics: List[Diagnostic], checked_files: int, rules: Sequence[str]):
+    def __init__(
+        self,
+        diagnostics: List[Diagnostic],
+        checked_files: int,
+        rules: Sequence[str],
+        *,
+        phase_timings: Optional[Mapping[str, float]] = None,
+        rule_timings: Optional[Mapping[str, float]] = None,
+    ):
         self.diagnostics = sorted(diagnostics)
         self.checked_files = checked_files
         self.rules = list(rules)
+        #: wall-clock seconds per phase (parse/symbols/callgraph/rules);
+        #: informational only — never part of the deterministic reports.
+        self.phase_timings: Dict[str, float] = dict(phase_timings or {})
+        self.rule_timings: Dict[str, float] = dict(rule_timings or {})
 
     @property
     def ok(self) -> bool:
@@ -54,6 +94,168 @@ def _module_package(package: str, relpath: str) -> str:
     return ".".join([package] + directories)
 
 
+def _parse_one(
+    source: str, relpath: str
+) -> Tuple[Optional[ast.Module], Optional[Diagnostic]]:
+    try:
+        return ast.parse(source, filename=relpath), None
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule="PARSE",
+            message=f"syntax error: {exc.msg}",
+        )
+
+
+def _parse_cached(
+    source: str, relpath: str, cache_dir: Optional[str]
+) -> Tuple[Optional[ast.Module], Optional[Diagnostic]]:
+    """Parse with an optional on-disk AST cache keyed on the source hash.
+
+    The key covers source bytes, the cache schema and the interpreter
+    version (AST pickles are not stable across minors).  Cache misses and
+    corrupt entries fall back to a plain parse and rewrite the entry.
+    """
+    if cache_dir is None:
+        return _parse_one(source, relpath)
+    digest = hashlib.sha256(
+        f"{_CACHE_SCHEMA}:{sys.version_info[:2]}:".encode() + source.encode()
+    ).hexdigest()
+    entry = os.path.join(cache_dir, f"{digest}.ast.pkl")
+    if os.path.exists(entry):
+        try:
+            with open(entry, "rb") as handle:
+                cached = pickle.load(handle)
+            if isinstance(cached, ast.Module):
+                return cached, None
+        except Exception:
+            pass  # corrupt/foreign entry: re-parse below
+    tree, parse_error = _parse_one(source, relpath)
+    if tree is not None:
+        os.makedirs(cache_dir, exist_ok=True)
+        tmp = entry + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(tree, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, entry)
+    return tree, parse_error
+
+
+def _run_rules(
+    files: Sequence[Tuple[str, str, ast.Module]],
+    parse_failures: Sequence[Diagnostic],
+    config: LintConfig,
+    rules: Sequence[Rule],
+    project: ProjectContext,
+) -> Tuple[List[Diagnostic], Dict[str, float]]:
+    """Phase 4: file rules per module, project rules once."""
+    diagnostics: List[Diagnostic] = list(parse_failures)
+    rule_timings: Dict[str, float] = {}
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    contexts = []
+    for relpath, source, tree in files:
+        info = project.symbols.by_relpath.get(relpath)
+        contexts.append(
+            (
+                FileContext(
+                    relpath=relpath,
+                    layer=config.layer_of(relpath),
+                    module_package=_module_package(config.package, relpath),
+                    tree=tree,
+                    imports=(
+                        info.imports
+                        if info is not None
+                        else ImportTable(tree, _module_package(config.package, relpath))
+                    ),
+                    config=config,
+                    reexports=project.reexports,
+                ),
+                info.suppressions if info is not None else parse_suppressions(source),
+            )
+        )
+    for rule in file_rules:
+        started = time.perf_counter()
+        for ctx, suppressions in contexts:
+            for diagnostic in rule.check(ctx):
+                if not suppressions.is_suppressed(diagnostic.line, diagnostic.rule):
+                    diagnostics.append(diagnostic)
+        rule_timings[rule.id] = rule_timings.get(rule.id, 0.0) + (
+            time.perf_counter() - started
+        )
+    for rule in project_rules:
+        started = time.perf_counter()
+        for diagnostic in rule.check_project(project):
+            if not project.is_suppressed(diagnostic):
+                diagnostics.append(diagnostic)
+        rule_timings[rule.id] = rule_timings.get(rule.id, 0.0) + (
+            time.perf_counter() - started
+        )
+    return diagnostics, rule_timings
+
+
+def _lint_program(
+    sources: Mapping[str, str],
+    *,
+    config: LintConfig,
+    rules: Sequence[Rule],
+    cache_dir: Optional[str] = None,
+) -> LintResult:
+    """Shared core: parse → symbols+callgraph → rules, with timings."""
+    timings: Dict[str, float] = {}
+
+    started = time.perf_counter()
+    parsed: List[Tuple[str, str, ast.Module]] = []
+    parse_failures: List[Diagnostic] = []
+    for relpath in sorted(sources):
+        tree, parse_error = _parse_cached(sources[relpath], relpath, cache_dir)
+        if tree is not None:
+            parsed.append((relpath, sources[relpath], tree))
+        if parse_error is not None:
+            parse_failures.append(parse_error)
+    timings["parse"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    from .symbols import SymbolTable
+
+    symbols = SymbolTable.build(config.package, parsed)
+    timings["symbols"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    project = ProjectContext(config, symbols)
+    timings["callgraph"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    diagnostics, rule_timings = _run_rules(parsed, parse_failures, config, rules, project)
+    timings["rules"] = time.perf_counter() - started
+
+    return LintResult(
+        diagnostics,
+        len(sources),
+        [rule.id for rule in rules],
+        phase_timings=timings,
+        rule_timings=rule_timings,
+    )
+
+
+def lint_sources(
+    sources: Mapping[str, str],
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint several in-memory modules as one program.
+
+    ``sources`` maps package-relative paths to source text; the
+    inter-procedural rules see imports/calls between them.  This is the
+    fixture entry point for the SIM/RNG1xx/EXA families.
+    """
+    config = config or default_config()
+    rules = list(rules) if rules is not None else all_rules()
+    return _lint_program(sources, config=config, rules=rules).diagnostics
+
+
 def lint_source(
     source: str,
     relpath: str,
@@ -65,37 +267,10 @@ def lint_source(
 
     A syntax error is itself reported as a diagnostic (rule ``PARSE``)
     rather than raised — a tree that does not parse must fail the lint
-    gate, not crash it.
+    gate, not crash it.  Whole-program rules run against the one-module
+    program (cross-module edges simply do not exist).
     """
-    config = config or default_config()
-    rules = list(rules) if rules is not None else all_rules()
-    try:
-        tree = ast.parse(source, filename=relpath)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=relpath,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule="PARSE",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    context = FileContext(
-        relpath=relpath,
-        layer=config.layer_of(relpath),
-        module_package=_module_package(config.package, relpath),
-        tree=tree,
-        imports=ImportTable(tree, _module_package(config.package, relpath)),
-        config=config,
-    )
-    suppressions = parse_suppressions(source)
-    found: List[Diagnostic] = []
-    for rule in rules:
-        for diagnostic in rule.check(context):
-            if not suppressions.is_suppressed(diagnostic.line, diagnostic.rule):
-                found.append(diagnostic)
-    return found
+    return lint_sources({relpath: source}, config=config, rules=rules)
 
 
 def lint_file(
@@ -124,21 +299,23 @@ def lint_tree(
     *,
     config: Optional[LintConfig] = None,
     rules: Optional[Sequence[Rule]] = None,
+    cache_dir: Optional[str] = None,
 ) -> LintResult:
     """Lint every ``.py`` file under ``root`` (a package directory).
 
     ``root`` is the directory of the package itself (e.g. ``src/repro``);
-    layers are resolved from paths relative to it.
+    layers are resolved from paths relative to it.  ``cache_dir``, when
+    given, holds parsed-AST artifacts keyed on source hash so repeated
+    runs (and CI with a restored cache) skip re-parsing unchanged files.
     """
     config = config or default_config()
     rules = list(rules) if rules is not None else all_rules()
-    diagnostics: List[Diagnostic] = []
-    checked = 0
+    sources: Dict[str, str] = {}
     for path in _python_files(root):
         relpath = os.path.relpath(path, root).replace(os.sep, "/")
-        diagnostics.extend(lint_file(path, relpath, config=config, rules=rules))
-        checked += 1
-    return LintResult(diagnostics, checked, [rule.id for rule in rules])
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[relpath] = handle.read()
+    return _lint_program(sources, config=config, rules=rules, cache_dir=cache_dir)
 
 
 def package_root() -> str:

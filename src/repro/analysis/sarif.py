@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 output so findings surface in GitHub code scanning.
+
+One run, one tool (``repro-lint``), one result per diagnostic.  The
+report is deterministic: rules sorted by id, results in diagnostic sort
+order, keys emitted in fixed order — CI diffs two runs byte-for-byte to
+prove the analyzer itself is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .diagnostics import Diagnostic
+from .rules import Rule
+
+__all__ = ["render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/repro/repro"
+
+
+def _rule_entry(rule: Rule) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+    }
+    if rule.rationale:
+        entry["fullDescription"] = {"text": rule.rationale.replace("\n", " ")}
+    return entry
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[Rule],
+    *,
+    base_uri: Optional[str] = None,
+) -> str:
+    """SARIF 2.1.0 JSON for ``diagnostics``.
+
+    ``base_uri``, when given, is emitted as the ``SRCROOT`` uriBase so
+    GitHub resolves the package-relative paths against the repo (pass
+    e.g. ``src/repro/``).
+    """
+    rule_index = {rule.id: i for i, rule in enumerate(sorted(rules, key=lambda r: r.id))}
+    results: List[Dict[str, object]] = []
+    for diagnostic in sorted(diagnostics):
+        location: Dict[str, object] = {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": diagnostic.path,
+                    **({"uriBaseId": "SRCROOT"} if base_uri else {}),
+                },
+                "region": {
+                    "startLine": diagnostic.line,
+                    "startColumn": diagnostic.col + 1,
+                },
+            }
+        }
+        result: Dict[str, object] = {
+            "ruleId": diagnostic.rule,
+            "level": "error",
+            "message": {"text": f"{diagnostic.rule} {diagnostic.message}"},
+            "locations": [location],
+        }
+        if diagnostic.rule in rule_index:
+            result["ruleIndex"] = rule_index[diagnostic.rule]
+        results.append(result)
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "informationUri": TOOL_URI,
+                "rules": [
+                    _rule_entry(rule) for rule in sorted(rules, key=lambda r: r.id)
+                ],
+            }
+        },
+        "results": results,
+    }
+    if base_uri:
+        run["originalUriBaseIds"] = {"SRCROOT": {"uri": base_uri}}
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

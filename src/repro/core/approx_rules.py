@@ -61,6 +61,7 @@ class EpsilonApproximation(StopRule):
         self.epsilon = float(epsilon)
         self.k = int(k)
 
+    # repro: approximate
     def check(self, progress: SearchProgress) -> Optional[str]:
         if progress.neighbors_found < self.k:
             return None
@@ -185,6 +186,7 @@ class PacApproximation(StopRule):
             mean_chunk_size=float(counts.mean()),
         )
 
+    # repro: approximate
     def check(self, progress: SearchProgress) -> Optional[str]:
         if math.isinf(progress.kth_distance):
             return None
@@ -206,6 +208,7 @@ class PacApproximation(StopRule):
         )
 
 
+# repro: approximate
 def estimate_epsilon(
     collection: DescriptorCollection,
     k: int,

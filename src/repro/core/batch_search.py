@@ -710,6 +710,7 @@ class BatchChunkSearcher:
             # unless skipped chunks left holes in the scan.
             state.finish("exhausted", not state.degraded)
 
+    # repro: exact
     def _prune_chunk_for_state(
         self,
         state: _QueryState,
@@ -776,6 +777,7 @@ class BatchChunkSearcher:
             )
         self._advance_state(state, elapsed, next_rank)
 
+    # repro: exact
     def _prune_run_for_state(self, state: _QueryState) -> None:
         """Consume the state's whole run of *consecutive* prunable chunks
         in one tight loop — the fast path behind the pruned scan's

@@ -38,6 +38,7 @@ def _as_matrix(vectors: np.ndarray) -> np.ndarray:
     return arr
 
 
+# repro: exact
 def squared_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances from one query vector to many points.
 
@@ -80,11 +81,13 @@ def squared_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
     return out
 
 
+# repro: exact
 def euclidean_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Euclidean distances from one query vector to many points (float64)."""
     return np.sqrt(squared_distances(query, points))
 
 
+# repro: exact
 def pairwise_squared_distances(
     queries: np.ndarray,
     points: np.ndarray,
@@ -143,6 +146,7 @@ def pairwise_squared_distances(
     return out
 
 
+# repro: exact
 def top_k_smallest(values: np.ndarray, k: int) -> np.ndarray:
     """Indices (dtype intp) of the ``k`` smallest values, sorted
     ascending by value.
@@ -163,6 +167,7 @@ def top_k_smallest(values: np.ndarray, k: int) -> np.ndarray:
     return np.argsort(values, kind="stable")[:k]
 
 
+# repro: exact
 def nearest_index(query: np.ndarray, points: np.ndarray) -> int:
     """Index of the single nearest point to ``query`` (ties -> lowest index)."""
     d = squared_distances(query, points)

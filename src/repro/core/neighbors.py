@@ -103,6 +103,7 @@ class NeighborSet:
             return True
         return distance == worst_d and -descriptor_id > worst_neg_id
 
+    # repro: exact
     def offer(self, distance: float, descriptor_id: int) -> bool:
         """Offer one candidate; returns True if it entered the set."""
         distance = float(distance)
@@ -116,6 +117,7 @@ class NeighborSet:
             heapq.heappush(self._heap, entry)
         return True
 
+    # repro: exact
     def update(self, distances: np.ndarray, descriptor_ids: np.ndarray) -> int:
         """Bulk-offer a chunk's worth of candidates; returns how many entered.
 
@@ -149,6 +151,7 @@ class NeighborSet:
                 admitted += 1
         return admitted
 
+    # repro: exact
     def merge(self, other: "NeighborSet") -> None:
         """Fold another neighbor set into this one."""
         for neighbor in other.sorted():

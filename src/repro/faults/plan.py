@@ -208,6 +208,7 @@ class FaultPlan:
 
     # -- deterministic draws -------------------------------------------------
 
+    # repro: exact
     def uniforms(self, stream: int, a: int, b: int, n: int) -> np.ndarray:
         """``n`` uniforms in [0, 1) (float64) for one keyed decision site.
 
@@ -235,6 +236,7 @@ class FaultPlan:
             return FAULT_SPIKE
         return FAULT_NONE
 
+    # repro: exact
     def page_fault(self, page: int) -> Tuple[str, int]:
         """Byte-level decision for one disk page: ``(kind, detail)``.
 
@@ -256,6 +258,7 @@ class FaultPlan:
 
     # -- the degraded-execution contract -------------------------------------
 
+    # repro: exact
     def chunk_outcome(
         self,
         query_id: int,

@@ -137,6 +137,7 @@ class AdaptiveBudgetController:
             return math.nan
         return percentile(list(self._latencies), 0.99)
 
+    # repro: approximate
     def _adjust(self) -> None:
         p99 = self.window_p99_s()
         if p99 != p99:  # NaN: nothing served yet

@@ -66,6 +66,7 @@ class LruPageCache:
         return self.hits / total if total else 0.0
 
 
+# repro: exact
 def cached_read_time_s(
     disk: DiskModel,
     cache: LruPageCache,

@@ -170,6 +170,7 @@ class LruChunkCache:
         }
 
 
+# repro: exact
 def chunk_read_time_s(
     disk: DiskModel,
     cache: LruChunkCache,
