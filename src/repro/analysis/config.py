@@ -48,9 +48,11 @@ FORBIDDEN_IMPORTS: Mapping[str, FrozenSet[str]] = {
     # degraded-execution *policy* lives in core, which imports faults —
     # never the other way around.
     "faults": _APP_SHELL | frozenset({"core", "service"}),
-    # The query service composes core search, simio queueing, faults and
-    # workload arrivals; only the app shell (cli / experiments) may sit
-    # above it, and no substrate layer may reach up into it.
+    # The query service (including the ``service.sharding`` package:
+    # placement, shard nodes, scatter-gather coordinator) composes core
+    # search, simio queueing, faults and workload arrivals; only the app
+    # shell (cli / experiments) may sit above it, and no substrate layer
+    # may reach up into it.
     "service": _APP_SHELL | frozenset({"chunking", "srtree", "storage", "analysis"}),
     "workloads": frozenset({"service"}),
     "parallel": frozenset({"service"}),

@@ -10,6 +10,7 @@ Usage::
     repro batch-search SYSTEM COLLECTION     # batched queries + throughput
     repro faultsim [--rates 0,0.1,0.3]       # quality-vs-fault-rate sweep
     repro servesim [--loads 0.5,2,8]         # simulated-traffic service sweep
+    repro shardsim [--shards 2,4,8]          # sharded scatter-gather sweep
     repro lint [PATH]                        # AST-based invariant checker
 
 The experiment subcommand regenerates the paper artefacts (Tables 1-2,
@@ -31,6 +32,7 @@ from .experiments import (
     fig1,
     quality_figures,
     servesim,
+    shardsim,
     table1,
     table2,
 )
@@ -71,6 +73,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[[ExperimentData], object]] = {
     "lessons_summary": ablations.run_lessons_summary,
     "faultsim": faultsim.run,
     "servesim": servesim.run,
+    "shardsim": shardsim.run,
 }
 
 
@@ -277,6 +280,71 @@ def _build_parser() -> argparse.ArgumentParser:
             "share a simulated chunk cache of this capacity across the "
             "pool's workers (fresh per grid cell)"
         ),
+    )
+
+    shardsim_p = sub.add_parser(
+        "shardsim",
+        help=(
+            "simulate sharded scatter-gather serving; emit SLO and "
+            "robustness metrics per (placement, shards, fault rate) cell"
+        ),
+    )
+    shardsim_p.add_argument("--scale", default="test")
+    shardsim_p.add_argument(
+        "--seed", type=int, default=servesim.DEFAULT_SEED,
+        help="root seed (same seed => byte-identical report)",
+    )
+    shardsim_p.add_argument(
+        "--placements", default=None,
+        help=(
+            "comma-separated placement strategies "
+            "(greedy, split, round_robin, random; default: built-in grid)"
+        ),
+    )
+    shardsim_p.add_argument(
+        "--shards", default=None,
+        help="comma-separated shard counts (default: built-in grid)",
+    )
+    shardsim_p.add_argument(
+        "--fault-rates", default=None,
+        help="comma-separated fault rates in [0, 0.5] (default: built-in grid)",
+    )
+    shardsim_p.add_argument(
+        "--load", type=float, default=shardsim.DEFAULT_LOAD_FACTOR,
+        help=(
+            "offered load as a multiple of a single node's calibrated "
+            "exact-search capacity"
+        ),
+    )
+    shardsim_p.add_argument(
+        "--replicas", type=int, default=2,
+        help="replication factor (capped at the cell's shard count)",
+    )
+    shardsim_p.add_argument(
+        "--workers-per-shard", type=int, default=1,
+        help="simulated searcher workers on each shard node",
+    )
+    shardsim_p.add_argument(
+        "--hedge-factor", type=float, default=shardsim.HEDGE_FACTOR,
+        help=(
+            "hedge delay as a multiple of the expected per-shard "
+            "sub-request time (0 disables hedging)"
+        ),
+    )
+    shardsim_p.add_argument(
+        "--family", default="BAG", choices=("SR", "BAG"),
+        help="chunk-forming family to shard (BAG is skewed on purpose)",
+    )
+    shardsim_p.add_argument("--size-class", default="SMALL",
+                            choices=("SMALL", "MEDIUM", "LARGE"))
+    shardsim_p.add_argument("--workload", default="DQ", choices=("DQ", "SQ"))
+    shardsim_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the grid as a deterministic JSON report",
+    )
+    shardsim_p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resume file: finished grid cells are skipped on rerun",
     )
 
     lint = sub.add_parser(
@@ -635,6 +703,72 @@ def _cmd_servesim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shardsim(args: argparse.Namespace) -> int:
+    import json
+
+    scale = get_scale(args.scale)
+    if args.placements is None:
+        placements = list(shardsim.DEFAULT_PLACEMENTS)
+    else:
+        placements = [
+            token.strip()
+            for token in args.placements.split(",")
+            if token.strip()
+        ]
+        if not placements:
+            raise CliError("--placements must name at least one strategy")
+    if args.shards is None:
+        shard_counts = list(shardsim.DEFAULT_SHARD_COUNTS)
+    else:
+        shard_counts = [
+            int(count) for count in _parse_grid(args.shards, "--shards")
+        ]
+        if any(count < 1 for count in shard_counts):
+            raise CliError("--shards values must be at least 1")
+    if args.fault_rates is None:
+        fault_rates = list(shardsim.DEFAULT_FAULT_RATES)
+    else:
+        fault_rates = _parse_grid(args.fault_rates, "--fault-rates", upper=0.5)
+    if not args.load > 0.0:
+        raise CliError(f"--load must be positive, got {args.load}")
+    if args.replicas < 1:
+        raise CliError(f"--replicas must be at least 1, got {args.replicas}")
+    if args.workers_per_shard < 1:
+        raise CliError(
+            f"--workers-per-shard must be at least 1, got {args.workers_per_shard}"
+        )
+    if args.hedge_factor < 0.0:
+        raise CliError(
+            f"--hedge-factor cannot be negative, got {args.hedge_factor}"
+        )
+    data = prepare(scale)
+    try:
+        result = shardsim.sweep(
+            data,
+            family=args.family,
+            size_class=args.size_class,
+            workload_name=args.workload,
+            placements=placements,
+            shard_counts=shard_counts,
+            fault_rates=fault_rates,
+            load_factor=args.load,
+            n_replicas=args.replicas,
+            workers_per_shard=args.workers_per_shard,
+            hedge_factor=args.hedge_factor,
+            seed=args.seed,
+            checkpoint_path=args.checkpoint,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc))
+    print(result.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_report(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "list-experiments": _cmd_list,
     "experiment": _cmd_experiment,
@@ -647,6 +781,7 @@ _COMMANDS = {
     "image-query": _cmd_image_query,
     "faultsim": _cmd_faultsim,
     "servesim": _cmd_servesim,
+    "shardsim": _cmd_shardsim,
     "lint": run_lint,
 }
 

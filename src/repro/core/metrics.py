@@ -31,6 +31,7 @@ __all__ = [
     "robustness_stats",
     "RobustnessStats",
     "percentile",
+    "percentiles",
     "OUTCOME_OK",
     "OUTCOME_DEGRADED",
     "OUTCOME_DEADLINE",
@@ -183,13 +184,29 @@ def percentile(values: Sequence[float], q: float) -> float:
     so two runs that produced the same latencies report bit-identical
     p50/p95/p99 figures regardless of platform math libraries.
     """
+    return percentiles(values, (q,))[0]
+
+
+def percentiles(values: Sequence[float], qs: Sequence[float]) -> List[float]:
+    """Nearest-rank percentiles for several ``qs`` over one shared sort.
+
+    The batch form of :func:`percentile`: every service sweep reports
+    p50/p95/p99 of the same latency list, and sorting it once per report
+    instead of once per quantile keeps the aggregation linearithmic in
+    the number of requests rather than in requests x quantiles.  The
+    semantics are identical — each returned value is an element of
+    ``values`` — so ``percentiles(v, (q,)) == [percentile(v, q)]``.
+    """
     if not values:
         raise ValueError("percentile of an empty sequence is undefined")
-    if not 0.0 < q <= 1.0 or math.isnan(q):
-        raise ValueError(f"q must lie in (0, 1], got {q}")
+    if not qs:
+        raise ValueError("need at least one quantile")
+    for q in qs:
+        if not 0.0 < float(q) <= 1.0 or math.isnan(float(q)):
+            raise ValueError(f"q must lie in (0, 1], got {q}")
     ordered = sorted(float(v) for v in values)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
+    n = len(ordered)
+    return [ordered[max(1, math.ceil(float(q) * n)) - 1] for q in qs]
 
 
 #: Request served and provably exact (completion proof fired or every
@@ -283,9 +300,7 @@ def slo_stats(
     for outcome in outcomes:
         counts[outcome] += 1
     if n_served:
-        p50 = percentile(served_lat, 0.50)
-        p95 = percentile(served_lat, 0.95)
-        p99 = percentile(served_lat, 0.99)
+        p50, p95, p99 = percentiles(served_lat, (0.50, 0.95, 0.99))
         worst = max(served_lat)
         mean_latency = sum(served_lat) / n_served
     else:

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import AbstractSet, List, Tuple
+from typing import AbstractSet, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Neighbor", "NeighborSet"]
+__all__ = ["Neighbor", "NeighborSet", "merge_neighbor_lists"]
 
 
 class Neighbor(Tuple[float, int]):
@@ -42,6 +42,36 @@ class Neighbor(Tuple[float, int]):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Neighbor(distance={self[0]:.6g}, id={self[1]})"
+
+
+# repro: exact
+def merge_neighbor_lists(
+    lists: Sequence[Sequence[Neighbor]], k: int
+) -> List[Neighbor]:
+    """Exact k-way merge of per-partition top-k lists.
+
+    Because ``(distance, id)`` is a total order, the exact top-k of a
+    descriptor set is *unique*, and the top-k of a union is contained in
+    the union of the parts' top-k's.  Merging the per-partition exact
+    lists therefore reproduces the single-node exact answer bit for bit
+    — the property the sharded scatter-gather coordinator relies on.
+
+    Duplicate descriptor ids (e.g. both answers of a hedged pair, which
+    executed the *same* partition) are collapsed to their best entry, so
+    the merge is idempotent.  Empty inputs merge cleanly: fewer than
+    ``k`` total candidates yield a shorter list, never an error — a
+    partial merge is the honest answer under shard loss.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    best: "dict[int, Neighbor]" = {}
+    for part in lists:
+        for neighbor in part:
+            entry = Neighbor(neighbor[0], neighbor[1])
+            held = best.get(entry.descriptor_id)
+            if held is None or entry < held:
+                best[entry.descriptor_id] = entry
+    return sorted(best.values())[:k]
 
 
 class NeighborSet:

@@ -18,6 +18,7 @@ from . import (
     fig1,
     quality_figures,
     servesim,
+    shardsim,
     table1,
     table2,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "chunk_size_sweep",
     "faultsim",
     "servesim",
+    "shardsim",
     "SweepCheckpoint",
     "fig1",
     "quality_figures",

@@ -73,6 +73,8 @@ _COLUMNS = (
     "mean_recall",
     "final_budget",
     "breaker_opens",
+    "breaker_half_opens",
+    "breaker_closes",
     "utilization",
 )
 
@@ -268,6 +270,8 @@ def sweep(
                     "mean_recall": stats.mean_recall,
                     "final_budget": result.final_budget,
                     "breaker_opens": result.breaker_opens,
+                    "breaker_half_opens": result.breaker_transitions["half_opened"],
+                    "breaker_closes": result.breaker_transitions["closed"],
                     "utilization": result.utilization,
                 }
                 if cell_cache is not None:

@@ -15,6 +15,7 @@ count.
 """
 
 from .injector import FaultInjector, FaultyFile, InjectedFaultError
+from .shard_plan import SHARD_OK, ShardFaultPlan, ShardSubFault
 from .plan import (
     FAILURE_KINDS,
     FAULT_CORRUPT,
@@ -29,6 +30,9 @@ from .plan import (
 
 __all__ = [
     "FaultPlan",
+    "ShardFaultPlan",
+    "ShardSubFault",
+    "SHARD_OK",
     "FaultInjector",
     "FaultyFile",
     "InjectedFaultError",

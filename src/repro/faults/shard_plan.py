@@ -1,0 +1,231 @@
+"""Deterministic shard-level fault plans.
+
+The chunk-level :class:`~repro.faults.plan.FaultPlan` models *storage*
+damage inside one node; a sharded service additionally fails at the
+granularity of whole nodes: a replica drops a request, answers slowly,
+or is down for a stretch of simulated time.  :class:`ShardFaultPlan`
+models exactly those three modes, with the same purity contract as the
+chunk plan — every decision is a pure function of an explicit seed and
+the decision's coordinates, independent of call order, so a sharded run
+replays bit for bit.
+
+Fault taxonomy:
+
+* ``error`` — one sub-request (query x partition x shard x attempt)
+  fails fast: the shard detects the problem after ``error_detect_s`` of
+  occupancy and the coordinator fails over to the next replica.  Each
+  attempt re-draws independently, like transient chunk read errors.
+* ``straggler`` — the sub-request succeeds but its service time is
+  multiplied by ``straggler_factor``; this is the tail the hedging
+  policy exists to cut (Dean & Barroso's "tail at scale" case, and the
+  response-time variability of Tavenard/Amsaleg/Jegou at node scale).
+* ``outage`` — a shard is down for one contiguous window of the run's
+  horizon; every sub-request dispatched to it during the window fails
+  fast.  Windows are drawn once per shard from the seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ShardSubFault", "ShardFaultPlan", "SHARD_OK"]
+
+#: Stream tags keeping the per-sub-request draws and the per-shard
+#: outage-window draws independent of each other.
+_STREAM_SUB = 0
+_STREAM_OUTAGE = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSubFault:
+    """Resolved fault behaviour of one sub-request attempt.
+
+    ``failed`` means the attempt errors out after ``detect_s`` of
+    simulated occupancy (fail fast; the coordinator fails over);
+    ``straggler`` means the attempt succeeds but its service time is
+    stretched by the plan's ``straggler_factor``.  The two are mutually
+    exclusive — a draw classifies into error, straggler, or clean.
+    """
+
+    failed: bool
+    straggler: bool
+    detect_s: float
+
+    @property
+    def clean(self) -> bool:
+        return not self.failed and not self.straggler
+
+
+#: Shared clean outcome (also the fast path for null plans).
+SHARD_OK = ShardSubFault(failed=False, straggler=False, detect_s=0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardFaultPlan:
+    """Seeded, rate-parameterised shard fault model.
+
+    Parameters
+    ----------
+    seed:
+        Non-negative root seed; together with the decision coordinates
+        it fully determines every draw.
+    error_rate:
+        Per-attempt probability that a sub-request fails fast.
+    straggler_rate:
+        Per-attempt probability that a clean sub-request is stretched.
+    straggler_factor:
+        Service-time multiplier of a straggling sub-request (>= 1).
+    error_detect_s:
+        Simulated occupancy charged by one failed attempt (the time the
+        shard needs to notice and report the failure).
+    outage_rate:
+        Per-shard probability of one outage window within the horizon.
+    outage_duration_s, horizon_s:
+        Length of an outage window and the horizon it is placed in
+        (uniformly, from the seed).  Both zero disable outages.
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_factor: float = 4.0
+    error_detect_s: float = 0.005
+    outage_rate: float = 0.0
+    outage_duration_s: float = 0.0
+    horizon_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        rates = (self.error_rate, self.straggler_rate, self.outage_rate)
+        if any(r < 0.0 or r > 1.0 or r != r for r in rates):
+            raise ValueError(f"fault rates must lie in [0, 1], got {rates}")
+        if self.error_rate + self.straggler_rate > 1.0 + 1e-12:
+            raise ValueError(
+                "error rate plus straggler rate must not exceed 1 "
+                f"(got {self.error_rate + self.straggler_rate:g})"
+            )
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler factor must be at least 1")
+        if self.error_detect_s < 0.0:
+            raise ValueError("error detection time cannot be negative")
+        if self.outage_duration_s < 0.0 or self.horizon_s < 0.0:
+            raise ValueError("outage duration and horizon cannot be negative")
+        if self.outage_rate > 0.0 and (
+            self.outage_duration_s <= 0.0 or self.horizon_s <= 0.0
+        ):
+            raise ValueError(
+                "a positive outage rate needs a positive outage duration "
+                "and horizon"
+            )
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            self.error_rate == 0.0
+            and self.straggler_rate == 0.0
+            and self.outage_rate == 0.0
+        )
+
+    @classmethod
+    def balanced(
+        cls, rate: float, seed: int, horizon_s: float, **overrides: Any
+    ) -> "ShardFaultPlan":
+        """A plan exercising all three modes from one knob: errors and
+        stragglers each at ``rate``, outages at ``rate`` per shard with
+        windows spanning a tenth of the horizon.
+
+        This is the single-knob configuration the ``shardsim`` sweep
+        uses for its robustness-vs-fault-rate cells.
+        """
+        if rate < 0.0 or rate > 0.5:
+            raise ValueError(
+                f"balanced rate must lie in [0, 0.5], got {rate!r} "
+                "(errors and stragglers each occur at this rate)"
+            )
+        if horizon_s <= 0.0:
+            raise ValueError("horizon must be positive")
+        return cls(
+            seed=seed,
+            error_rate=rate,
+            straggler_rate=rate,
+            outage_rate=rate,
+            outage_duration_s=0.1 * horizon_s,
+            horizon_s=horizon_s,
+            **overrides,
+        )
+
+    # -- deterministic draws -------------------------------------------------
+
+    # repro: exact
+    def _uniforms(self, stream: int, key: Tuple[int, ...], n: int) -> np.ndarray:
+        """``n`` uniforms in [0, 1) for one keyed decision site; the key
+        is ``(seed, stream, *key)`` so draws are independent of call
+        order and of every other site."""
+        ss = np.random.SeedSequence(entropy=(self.seed, stream) + key)
+        words = ss.generate_state(n, dtype=np.uint64)
+        return np.asarray(words, dtype=np.float64) * 2.0**-64
+
+    # repro: exact
+    def sub_request(
+        self, query_index: int, partition_id: int, shard_id: int, attempt: int
+    ) -> ShardSubFault:
+        """Fault decision for one sub-request attempt.
+
+        ``attempt`` numbers every dispatch of the (query, partition)
+        pair — failovers and hedges draw independently, so a retry on a
+        healthy replica usually succeeds and a hedged duplicate is not
+        doomed to repeat the primary's fate.
+        """
+        if min(query_index, partition_id, shard_id, attempt) < 0:
+            raise ValueError("decision coordinates must be non-negative")
+        if self.error_rate == 0.0 and self.straggler_rate == 0.0:
+            return SHARD_OK
+        u = float(
+            self._uniforms(
+                _STREAM_SUB,
+                (int(query_index), int(partition_id), int(shard_id), int(attempt)),
+                1,
+            )[0]
+        )
+        if u < self.error_rate:
+            return ShardSubFault(
+                failed=True, straggler=False, detect_s=self.error_detect_s
+            )
+        if u < self.error_rate + self.straggler_rate:
+            return ShardSubFault(failed=False, straggler=True, detect_s=0.0)
+        return SHARD_OK
+
+    # repro: exact
+    def outage_window(self, shard_id: int) -> Optional[Tuple[float, float]]:
+        """The shard's outage window ``(start_s, end_s)``, or ``None``.
+
+        At most one window per shard, drawn once from the seed: whether
+        the shard has an outage at all (``outage_rate``), and where in
+        ``[0, horizon_s - outage_duration_s]`` it starts.
+        """
+        if shard_id < 0:
+            raise ValueError("shard id must be non-negative")
+        if self.outage_rate == 0.0:
+            return None
+        us = self._uniforms(_STREAM_OUTAGE, (int(shard_id),), 2)
+        if float(us[0]) >= self.outage_rate:
+            return None
+        span = max(0.0, self.horizon_s - self.outage_duration_s)
+        start = float(us[1]) * span
+        return (start, start + self.outage_duration_s)
+
+    # repro: exact
+    def shard_down(self, shard_id: int, now: float) -> bool:
+        """True when ``shard_id`` is inside its outage window at ``now``."""
+        window = self.outage_window(shard_id)
+        if window is None:
+            return False
+        start, end = window
+        return start <= now < end

@@ -18,6 +18,10 @@ each:
 :class:`~repro.service.simulator.QueryService` wires them into one
 deterministic discrete-event simulation; runs are pure functions of
 ``(index, workload, config, fault plan)``.
+
+:mod:`~repro.service.sharding` scales the same contract out to a
+cluster: replicated chunk placement, hedged scatter-gather with exact
+top-k merging, and shard-level failover.
 """
 
 from .admission import SHED_PREDICTED_LATE, SHED_QUEUE_FULL, AdmissionController
@@ -34,6 +38,14 @@ from .breaker import (
 from .controller import AdaptiveBudgetController
 from .deadline import EXPIRED_BUDGET_S, propagated_stop_rule
 from .request import QueryRequest, RequestRecord, ServiceConfig
+from .sharding import (
+    PlacementPlan,
+    ShardedQueryService,
+    ShardRequestRecord,
+    ShardRunResult,
+    ShardServiceConfig,
+    plan_placement,
+)
 from .simulator import QueryService, ServiceRunResult
 
 __all__ = [
@@ -56,4 +68,10 @@ __all__ = [
     "ServiceConfig",
     "QueryService",
     "ServiceRunResult",
+    "PlacementPlan",
+    "plan_placement",
+    "ShardServiceConfig",
+    "ShardRequestRecord",
+    "ShardedQueryService",
+    "ShardRunResult",
 ]

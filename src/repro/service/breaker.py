@@ -91,7 +91,13 @@ class RegionBreaker:
         self.probe_successes = int(probe_successes)
         self.state = STATE_CLOSED
         self.opened_at_s = 0.0
+        #: Transition counters: closed/half-open -> open trips,
+        #: open -> half-open cooldown expiries, half-open -> closed
+        #: recoveries.  Together they expose the full state-machine
+        #: history of the run, not just its final census.
         self.open_count = 0
+        self.half_open_count = 0
+        self.close_count = 0
         self._outcomes: Deque[bool] = deque(maxlen=window)
         self._window_failures = 0
         self._probe_ok = 0
@@ -104,6 +110,7 @@ class RegionBreaker:
         if self.state == STATE_OPEN:
             if now >= self.opened_at_s + self.cooldown_s:
                 self.state = STATE_HALF_OPEN
+                self.half_open_count += 1
                 self._probe_ok = 0
                 return True
             return False
@@ -143,6 +150,7 @@ class RegionBreaker:
 
     def _close(self) -> None:
         self.state = STATE_CLOSED
+        self.close_count += 1
         self._outcomes.clear()
         self._window_failures = 0
         self._probe_ok = 0
@@ -209,6 +217,24 @@ class BreakerBoard:
         for breaker in self.breakers:
             counts[breaker.state] += 1
         return counts
+
+    def transition_counts(self) -> Dict[str, int]:
+        """Cumulative state transitions over the whole run.
+
+        ``opened`` counts closed/half-open -> open trips, ``half_opened``
+        counts cooldown expiries (open -> half-open), ``closed`` counts
+        half-open -> closed recoveries.  Unlike :meth:`state_counts`
+        (the final census) these expose the *path* the breakers took,
+        which is what makes failover behaviour observable in sweep
+        output: a region that tripped, cooled down and recovered leaves
+        ``opened == half_opened == closed == 1`` even though its final
+        state is indistinguishable from never having tripped.
+        """
+        return {
+            "opened": sum(b.open_count for b in self.breakers),
+            "half_opened": sum(b.half_open_count for b in self.breakers),
+            "closed": sum(b.close_count for b in self.breakers),
+        }
 
     @property
     def total_opens(self) -> int:

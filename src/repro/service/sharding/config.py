@@ -1,0 +1,154 @@
+"""Configuration and per-request records of the sharded service.
+
+Mirrors :mod:`repro.service.request` one level up: a
+:class:`ShardServiceConfig` freezes every tunable of the scatter-gather
+coordinator, so a sharded run is a pure function of ``(index, placement,
+config, shard fault plan)``; a :class:`ShardRequestRecord` captures what
+happened to one query, including the honest ``coverage_fraction`` that
+quantifies how much of the index actually answered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Tuple
+
+from ...core.neighbors import Neighbor
+
+__all__ = [
+    "ShardServiceConfig",
+    "ShardRequestRecord",
+    "SHED_IN_FLIGHT",
+    "STOP_COMPLETED",
+    "STOP_EXHAUSTED",
+]
+
+#: Shed reason of the coordinator's admission bound: too many queries
+#: already in flight across the cluster.
+SHED_IN_FLIGHT = "in-flight-limit"
+
+#: Stop reasons a fully answered, untrimmed query reconstructs — the
+#: single-node vocabulary, reproduced exactly (see the coordinator's
+#: exact-merge notes).
+STOP_COMPLETED = "completed"
+STOP_EXHAUSTED = "exhausted"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardServiceConfig:
+    """Tunables of the sharded scatter-gather service.
+
+    Attributes
+    ----------
+    workers_per_shard:
+        Simulated searcher workers on each shard node.
+    deadline_s:
+        Relative deadline each query carries; at its expiry the
+        coordinator finalises with whatever sub-results have arrived.
+    arrival_rate_qps, seed:
+        Open-loop Poisson arrival stream (same substrate as the
+        single-node service).
+    k:
+        Neighbors per query.
+    max_in_flight:
+        Admission bound: a query arriving while this many are already
+        in flight is shed outright (the coordinator's analogue of the
+        single-node bounded queue).
+    hedge_delay_s:
+        Seconds after dispatching a sub-request before a hedged
+        duplicate is sent to the next replica (0 disables hedging).
+        First answer wins; the loser's remaining worker occupancy is
+        reclaimed.
+    quorum_coverage:
+        Minimum coverage fraction for a partial result to count as a
+        quorum; below it the query is still answered (never an error
+        page) but its stop reason says ``below-quorum``.
+    breaker_window / breaker_failure_threshold / breaker_cooldown_s /
+    breaker_probe_successes:
+        Per-shard circuit breakers (one region per shard), reusing the
+        single-node :class:`~repro.service.breaker.RegionBreaker`
+        machinery.
+    """
+
+    workers_per_shard: int = 1
+    deadline_s: float = 0.5
+    arrival_rate_qps: float = 50.0
+    seed: int = 0
+    k: int = 10
+    max_in_flight: int = 64
+    hedge_delay_s: float = 0.0
+    quorum_coverage: float = 0.5
+    # -- per-shard circuit breakers
+    breaker_window: int = 16
+    breaker_failure_threshold: int = 4
+    breaker_cooldown_s: float = 1.0
+    breaker_probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.workers_per_shard < 1:
+            raise ValueError("need at least one worker per shard")
+        if self.deadline_s <= 0 or math.isnan(self.deadline_s):
+            raise ValueError("deadline must be positive")
+        if not self.arrival_rate_qps > 0.0:
+            raise ValueError("arrival rate must be positive")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.max_in_flight < 1:
+            raise ValueError("in-flight limit must be positive")
+        if self.hedge_delay_s < 0.0 or math.isnan(self.hedge_delay_s):
+            raise ValueError("hedge delay cannot be negative (0 disables)")
+        if not 0.0 <= self.quorum_coverage <= 1.0:
+            raise ValueError("quorum coverage must lie in [0, 1]")
+        if self.breaker_window < 1 or self.breaker_failure_threshold < 1:
+            raise ValueError("breaker window/threshold must be positive")
+        if self.breaker_failure_threshold > self.breaker_window:
+            raise ValueError("breaker threshold cannot exceed its window")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        if self.breaker_probe_successes < 1:
+            raise ValueError("breaker probe successes must be positive")
+
+    def replace(self, **overrides: object) -> "ShardServiceConfig":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardRequestRecord:
+    """Everything the coordinator knows about one finished query.
+
+    ``neighbors`` is the merged top-k (empty for shed queries) — kept on
+    the record so equivalence against the single-node searcher can be
+    asserted result by result; reports aggregate without it.
+    ``coverage_fraction`` is the fraction of the index's descriptors
+    that contributed to the answer: 1.0 when every partition answered in
+    full, honestly less when shards were lost or sub-scans trimmed.
+    """
+
+    index: int
+    outcome: str
+    stop_reason: str
+    arrival_s: float
+    finish_s: float
+    latency_s: float
+    coverage_fraction: float
+    neighbors: Tuple[Neighbor, ...]
+    n_partitions: int
+    n_lost_partitions: int
+    n_failovers: int
+    n_hedges: int
+    n_hedge_wins: int
+    n_breaker_skips: int
+    recall: float
+
+    @property
+    def served(self) -> bool:
+        """True when a scatter ran (every outcome except ``shed``)."""
+        return not math.isnan(self.finish_s)
+
+    def neighbor_ids(self) -> List[int]:
+        """Descriptor ids of the merged result, best first."""
+        return [neighbor.descriptor_id for neighbor in self.neighbors]

@@ -1,0 +1,709 @@
+"""The sharded query service: scatter-gather with failover and hedging.
+
+One coordinator fans each arriving query out to every partition of a
+:class:`~repro.service.sharding.placement.PlacementPlan`, executes the
+per-partition searches on simulated :class:`ShardNode` worker pools
+under the query's propagated deadline, and merges the per-shard top-k
+exactly.  The robustness core:
+
+* **Per-shard circuit breakers** — one
+  :class:`~repro.service.breaker.RegionBreaker` region per shard; a
+  shard that keeps failing is skipped at dispatch time (``breaker-open``
+  failover) until its cooldown expires.
+* **Replica failover** — a failed sub-request (injected error or
+  outage) is retried on the partition's next replica; each holder is
+  tried at most once, and a partition whose holders are all exhausted
+  is honestly *lost*, not silently dropped.
+* **Seeded hedged requests** — when a sub-request has not answered
+  ``hedge_delay_s`` after dispatch, a duplicate is sent to the next
+  replica; the first answer wins and the loser's unconsumed worker
+  occupancy is reclaimed (first-wins cancellation).
+* **Quorum-style partial results** — at the deadline the coordinator
+  finalises with whatever arrived; every answer carries an honest
+  ``coverage_fraction`` and a degraded stop reason when shards were
+  lost or sub-scans trimmed.
+
+Exact-merge argument (the bit-identical claim)
+----------------------------------------------
+``(distance, id)`` is a total order, so the exact top-k of any
+descriptor set is unique.  Partitions tile the index; each partition
+search is the same per-chunk kernel over the same float64 vectors, so
+per-shard distances are bit-identical to the single node's, and the
+k-way merge of per-partition exact top-k's equals the single-node exact
+top-k — ids, distances and order.  The stop reason is reconstructed
+exactly as well: an exact single-node scan ends ``"completed"`` iff the
+index holds at least ``k`` descriptors (on the last chunk the remaining
+lower bound is infinite, so a full neighbor set proves completion) and
+``"exhausted"`` otherwise — equivalently, iff the merged result holds
+``k`` neighbors.  Hence with no faults and hedging disabled the sharded
+answer is indistinguishable from the single-node searcher's.
+
+Everything runs on the simulated clock; a run is a pure function of
+``(index, placement, config, shard fault plan)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...core.metrics import (
+    OUTCOME_DEADLINE,
+    OUTCOME_DEGRADED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    SloStats,
+    precision_at_k,
+    slo_stats,
+)
+from ...core.neighbors import Neighbor, merge_neighbor_lists
+from ...core.search import ChunkSearcher, SearchResult
+from ...faults.shard_plan import SHARD_OK, ShardFaultPlan
+from ...simio.calibration import PAPER_2005_COST_MODEL
+from ...simio.pipeline import CostModel
+from ...workloads.arrivals import poisson_arrival_times
+from ..breaker import BreakerBoard
+from ..deadline import propagated_stop_rule
+from ..request import QueryRequest
+from ...core.chunk_index import ChunkIndex
+from .config import (
+    SHED_IN_FLIGHT,
+    STOP_COMPLETED,
+    STOP_EXHAUSTED,
+    ShardRequestRecord,
+    ShardServiceConfig,
+)
+from .nodes import ShardNode, SubAssignment
+from .placement import Partition, PlacementPlan, build_partition_index
+
+__all__ = ["ShardedQueryService", "ShardRunResult"]
+
+# Event priorities: completions free capacity and resolve subtasks
+# before timers consult them; arrivals see a settled cluster.
+_EVT_COMPLETION = 0
+_EVT_TIMER = 1
+_EVT_ARRIVAL = 2
+
+
+@dataclasses.dataclass
+class _Attempt:
+    """One dispatched copy of a sub-request."""
+
+    shard_id: int
+    assignment: SubAssignment
+    failed: bool
+    is_hedge: bool
+    result: Optional[SearchResult] = None
+    cancelled: bool = False
+
+
+@dataclasses.dataclass
+class _SubTask:
+    """One query's work on one partition."""
+
+    partition: Partition
+    targets: Tuple[int, ...]
+    next_target: int = 0
+    attempt_no: int = 0
+    in_flight: Dict[int, _Attempt] = dataclasses.field(default_factory=dict)
+    result: Optional[SearchResult] = None
+    lost: bool = False
+    hedged: bool = False
+
+    @property
+    def resolved(self) -> bool:
+        return self.result is not None or self.lost
+
+
+@dataclasses.dataclass
+class _QueryState:
+    """Coordinator-side state of one admitted query."""
+
+    request: QueryRequest
+    subtasks: Dict[int, _SubTask]
+    done: bool = False
+    n_failovers: int = 0
+    n_hedges: int = 0
+    n_hedge_wins: int = 0
+    n_breaker_skips: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class _SubCompletion:
+    query_index: int
+    partition_id: int
+    token: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _HedgeTimer:
+    query_index: int
+    partition_id: int
+    token: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _DeadlineTimer:
+    query_index: int
+
+
+_Payload = Union[QueryRequest, _SubCompletion, _HedgeTimer, _DeadlineTimer]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardRunResult:
+    """Everything one sharded-traffic run produced.
+
+    ``records`` is ordered by request index.  ``stats`` aggregates via
+    :func:`~repro.core.metrics.slo_stats`; ``mean_coverage`` averages
+    the honest per-query coverage over served requests.  The breaker
+    fields expose the per-shard state machines — counts of opens,
+    half-opens and closes make failover behaviour observable in sweeps.
+    """
+
+    config: ShardServiceConfig
+    placement: Dict[str, object]
+    records: List[ShardRequestRecord]
+    stats: SloStats
+    mean_coverage: float
+    n_failovers: int
+    n_hedges: int
+    n_hedge_wins: int
+    n_breaker_skips: int
+    n_lost_partitions: int
+    reclaimed_s: float
+    breaker_opens: int
+    breaker_state_counts: Dict[str, int]
+    breaker_transitions: Dict[str, int]
+    shard_served: List[int]
+    shard_failed: List[int]
+    makespan_s: float
+    mean_utilization: float
+
+    def to_report(self) -> Dict[str, object]:
+        """Deterministic, JSON-ready summary (no per-request records)."""
+        return {
+            "config": dataclasses.asdict(self.config),
+            "placement": dict(self.placement),
+            "slo": dataclasses.asdict(self.stats),
+            "coverage": {"mean": self.mean_coverage},
+            "robustness": {
+                "n_failovers": self.n_failovers,
+                "n_hedges": self.n_hedges,
+                "n_hedge_wins": self.n_hedge_wins,
+                "n_breaker_skips": self.n_breaker_skips,
+                "n_lost_partitions": self.n_lost_partitions,
+                "reclaimed_s": self.reclaimed_s,
+            },
+            "breakers": {
+                "opens": self.breaker_opens,
+                "state_counts": dict(sorted(self.breaker_state_counts.items())),
+                "transitions": dict(sorted(self.breaker_transitions.items())),
+            },
+            "shards": {
+                "served": list(self.shard_served),
+                "failed": list(self.shard_failed),
+            },
+            "makespan_s": self.makespan_s,
+            "mean_utilization": self.mean_utilization,
+        }
+
+
+class ShardedQueryService:
+    """Deterministic scatter-gather simulation over a placed index.
+
+    Parameters
+    ----------
+    index:
+        The single-node chunk index being sharded; partitions tile its
+        chunks per the placement plan.
+    plan:
+        A :class:`~repro.service.sharding.placement.PlacementPlan`
+        covering exactly this index's chunks.
+    config:
+        Coordinator tunables; see :class:`ShardServiceConfig`.
+    cost_model:
+        Per-shard search cost model (the paper's calibrated hardware by
+        default).  Shared caches are not supported here — each shard is
+        its own node, so cross-shard cache coupling would be fiction.
+    faults:
+        Optional :class:`~repro.faults.shard_plan.ShardFaultPlan`.
+    true_neighbor_ids:
+        Optional per-query ground truth for true recall; otherwise the
+        coverage fraction serves as the quality proxy.
+    """
+
+    def __init__(
+        self,
+        index: ChunkIndex,
+        plan: PlacementPlan,
+        config: ShardServiceConfig,
+        cost_model: CostModel = PAPER_2005_COST_MODEL,
+        faults: Optional[ShardFaultPlan] = None,
+        true_neighbor_ids: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ):
+        if cost_model.cache is not None or cost_model.chunk_cache is not None:
+            raise ValueError(
+                "sharded serving does not support shared caches: each "
+                "shard is a separate node with its own memory"
+            )
+        placed = sorted(
+            chunk_id
+            for partition in plan.partitions
+            for chunk_id in partition.chunk_ids
+        )
+        if placed != list(range(index.n_chunks)):
+            raise ValueError(
+                f"placement covers {len(placed)} chunks, "
+                f"index has {index.n_chunks} (must tile exactly)"
+            )
+        self.index = index
+        self.plan = plan
+        self.config = config
+        self.faults = faults
+        self.truth = true_neighbor_ids
+        counts = index.descriptor_counts()
+        self._total_descriptors = int(np.asarray(counts).sum())
+        self._partition_descriptors: Dict[int, int] = {
+            partition.partition_id: int(
+                sum(int(counts[c]) for c in partition.chunk_ids)
+            )
+            for partition in plan.partitions
+        }
+        self.nodes: List[ShardNode] = [
+            ShardNode(shard, config.workers_per_shard)
+            for shard in range(plan.n_shards)
+        ]
+        # One sub-index + searcher per partition, shared by its holders:
+        # replicas are bit-identical by construction, so simulating them
+        # as one object changes nothing observable.
+        self._searchers: Dict[int, ChunkSearcher] = {}
+        for partition in plan.partitions:
+            sub_index = build_partition_index(
+                index,
+                partition.chunk_ids,
+                name=f"{index.name}/p{partition.partition_id}",
+            )
+            searcher = ChunkSearcher(sub_index, cost_model=cost_model)
+            self._searchers[partition.partition_id] = searcher
+            for shard in partition.replicas:
+                self.nodes[shard].add_partition(partition.partition_id, searcher)
+
+    # -- per-request quality -------------------------------------------------
+
+    def _recall_of(
+        self, request: QueryRequest, merged_ids: List[int], coverage: float,
+        exact: bool,
+    ) -> float:
+        truth_ids = None if self.truth is None else self.truth[request.index]
+        if truth_ids is not None:
+            return precision_at_k(merged_ids, truth_ids)
+        if exact:
+            return 1.0
+        return coverage
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, queries: np.ndarray) -> ShardRunResult:
+        """Simulate the whole open-loop run over ``queries``."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[0] == 0:
+            raise ValueError(
+                f"queries must be a non-empty (n, d) matrix, got {queries.shape}"
+            )
+        if self.truth is not None and len(self.truth) != queries.shape[0]:
+            raise ValueError(
+                f"got {len(self.truth)} ground-truth lists "
+                f"for {queries.shape[0]} queries"
+            )
+        config = self.config
+        schedule = poisson_arrival_times(
+            queries.shape[0], config.arrival_rate_qps, config.seed
+        )
+        board = BreakerBoard(
+            n_chunks=self.plan.n_shards,
+            region_size=1,
+            window=config.breaker_window,
+            failure_threshold=config.breaker_failure_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+            probe_successes=config.breaker_probe_successes,
+        )
+
+        events: List[Tuple[float, int, int]] = []
+        payloads: Dict[int, _Payload] = {}
+        seq = 0
+
+        def push(time_s: float, priority: int, payload: _Payload) -> int:
+            nonlocal seq
+            token = seq
+            heapq.heappush(events, (time_s, priority, token))
+            payloads[token] = payload
+            seq += 1
+            return token
+
+        states: Dict[int, _QueryState] = {}
+        records: List[Optional[ShardRequestRecord]] = [None] * queries.shape[0]
+        in_flight_queries = 0
+        makespan = 0.0
+        totals = {
+            "failovers": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "breaker_skips": 0,
+            "lost_partitions": 0,
+        }
+        reclaimed_s = 0.0
+
+        def dispatch_sub(
+            state: _QueryState, subtask: _SubTask, now: float, is_hedge: bool
+        ) -> bool:
+            """Send the sub-request to the next viable replica; returns
+            False when every holder has been tried or is breaker-blocked."""
+            request = state.request
+            while subtask.next_target < len(subtask.targets):
+                shard_id = subtask.targets[subtask.next_target]
+                subtask.next_target += 1
+                if not board.breakers[shard_id].allow(now):
+                    state.n_breaker_skips += 1
+                    totals["breaker_skips"] += 1
+                    continue
+                attempt_no = subtask.attempt_no
+                subtask.attempt_no += 1
+                node = self.nodes[shard_id]
+                start_est = node.earliest_start(now)
+                sub_fault = (
+                    self.faults.sub_request(
+                        request.index,
+                        subtask.partition.partition_id,
+                        shard_id,
+                        attempt_no,
+                    )
+                    if self.faults is not None
+                    else SHARD_OK
+                )
+                down = self.faults is not None and self.faults.shard_down(
+                    shard_id, start_est
+                )
+                result: Optional[SearchResult] = None
+                if down or sub_fault.failed:
+                    detect_s = (
+                        self.faults.error_detect_s
+                        if self.faults is not None
+                        else 0.0
+                    )
+                    assignment = node.occupy(now, detect_s)
+                    failed = True
+                else:
+                    searcher = self._searchers[subtask.partition.partition_id]
+                    rule = propagated_stop_rule(
+                        request.remaining_s(start_est),
+                        0,
+                        searcher.index.n_chunks,
+                    )
+                    result = node.execute(
+                        subtask.partition.partition_id,
+                        request.query,
+                        config.k,
+                        rule,
+                        query_index=request.index,
+                    )
+                    duration = result.elapsed_s
+                    if sub_fault.straggler:
+                        duration *= self.faults.straggler_factor  # type: ignore[union-attr]
+                    assignment = node.occupy(now, duration)
+                    failed = False
+                token = push(
+                    assignment.finish_s,
+                    _EVT_COMPLETION,
+                    _SubCompletion(
+                        request.index,
+                        subtask.partition.partition_id,
+                        attempt_no,
+                    ),
+                )
+                subtask.in_flight[attempt_no] = _Attempt(
+                    shard_id=shard_id,
+                    assignment=assignment,
+                    failed=failed,
+                    is_hedge=is_hedge,
+                    result=result,
+                )
+                del token
+                if (
+                    config.hedge_delay_s > 0.0
+                    and not is_hedge
+                    and not subtask.hedged
+                    and subtask.next_target < len(subtask.targets)
+                ):
+                    push(
+                        now + config.hedge_delay_s,
+                        _EVT_TIMER,
+                        _HedgeTimer(
+                            request.index,
+                            subtask.partition.partition_id,
+                            attempt_no,
+                        ),
+                    )
+                return True
+            return False
+
+        def cancel_in_flight(state: _QueryState, now: float) -> None:
+            nonlocal reclaimed_s
+            for subtask in state.subtasks.values():
+                for attempt in subtask.in_flight.values():
+                    if attempt.cancelled:
+                        continue
+                    attempt.cancelled = True
+                    reclaimed_s += self.nodes[attempt.shard_id].reclaim(
+                        attempt.assignment, now
+                    )
+
+        def finalize(state: _QueryState, now: float, at_deadline: bool) -> None:
+            nonlocal in_flight_queries, makespan
+            state.done = True
+            in_flight_queries -= 1
+            cancel_in_flight(state, now)
+            request = state.request
+            parts: List[Sequence[Neighbor]] = []
+            covered = 0.0
+            lost = 0
+            trimmed = False
+            for partition_id in sorted(state.subtasks):
+                subtask = state.subtasks[partition_id]
+                n_desc = self._partition_descriptors[partition_id]
+                if subtask.result is not None:
+                    parts.append(subtask.result.neighbors)
+                    if subtask.result.completed:
+                        covered += n_desc
+                    else:
+                        trimmed = True
+                        covered += min(
+                            float(subtask.result.trace.descriptors_scanned),
+                            float(n_desc),
+                        )
+                else:
+                    lost += 1
+            totals["lost_partitions"] += lost
+            merged = merge_neighbor_lists(parts, config.k)
+            coverage = (
+                covered / self._total_descriptors
+                if self._total_descriptors
+                else 0.0
+            )
+            exact = lost == 0 and not trimmed
+            if at_deadline:
+                outcome = OUTCOME_DEADLINE
+                stop_reason = f"deadline({config.deadline_s:g}s)"
+            elif exact:
+                outcome = OUTCOME_OK
+                stop_reason = (
+                    STOP_COMPLETED if len(merged) >= config.k else STOP_EXHAUSTED
+                )
+            else:
+                outcome = OUTCOME_DEGRADED
+                if coverage < config.quorum_coverage:
+                    stop_reason = f"below-quorum(coverage={coverage:.6g})"
+                elif lost:
+                    stop_reason = f"shard-lost(coverage={coverage:.6g})"
+                else:
+                    stop_reason = f"trimmed(coverage={coverage:.6g})"
+            merged_ids = [neighbor.descriptor_id for neighbor in merged]
+            latency = now - request.arrival_s
+            makespan = max(makespan, now)
+            records[request.index] = ShardRequestRecord(
+                index=request.index,
+                outcome=outcome,
+                stop_reason=stop_reason,
+                arrival_s=request.arrival_s,
+                finish_s=now,
+                latency_s=latency,
+                coverage_fraction=coverage,
+                neighbors=tuple(merged),
+                n_partitions=len(state.subtasks),
+                n_lost_partitions=lost,
+                n_failovers=state.n_failovers,
+                n_hedges=state.n_hedges,
+                n_hedge_wins=state.n_hedge_wins,
+                n_breaker_skips=state.n_breaker_skips,
+                recall=self._recall_of(request, merged_ids, coverage, exact),
+            )
+
+        def maybe_finalize(state: _QueryState, now: float) -> None:
+            if not state.done and all(
+                subtask.resolved for subtask in state.subtasks.values()
+            ):
+                finalize(state, now, at_deadline=False)
+
+        for i in range(queries.shape[0]):
+            arrival = float(schedule.times_s[i])
+            request = QueryRequest(
+                index=i,
+                query=queries[i],
+                arrival_s=arrival,
+                deadline_s=arrival + config.deadline_s,
+            )
+            push(arrival, _EVT_ARRIVAL, request)
+
+        while events:
+            now, priority, token = heapq.heappop(events)
+            payload = payloads.pop(token)
+            if priority == _EVT_ARRIVAL:
+                assert isinstance(payload, QueryRequest)
+                request = payload
+                if in_flight_queries >= config.max_in_flight:
+                    records[request.index] = ShardRequestRecord(
+                        index=request.index,
+                        outcome=OUTCOME_SHED,
+                        stop_reason=SHED_IN_FLIGHT,
+                        arrival_s=request.arrival_s,
+                        finish_s=math.nan,
+                        latency_s=math.nan,
+                        coverage_fraction=0.0,
+                        neighbors=(),
+                        n_partitions=0,
+                        n_lost_partitions=0,
+                        n_failovers=0,
+                        n_hedges=0,
+                        n_hedge_wins=0,
+                        n_breaker_skips=0,
+                        recall=math.nan,
+                    )
+                    continue
+                in_flight_queries += 1
+                state = _QueryState(
+                    request=request,
+                    subtasks={
+                        partition.partition_id: _SubTask(
+                            partition=partition,
+                            targets=partition.targets(request.index),
+                        )
+                        for partition in self.plan.partitions
+                    },
+                )
+                states[request.index] = state
+                for partition_id in sorted(state.subtasks):
+                    subtask = state.subtasks[partition_id]
+                    if not dispatch_sub(state, subtask, now, is_hedge=False):
+                        subtask.lost = True
+                push(
+                    request.deadline_s, _EVT_TIMER, _DeadlineTimer(request.index)
+                )
+                maybe_finalize(state, now)
+            elif priority == _EVT_TIMER and isinstance(payload, _DeadlineTimer):
+                state = states[payload.query_index]
+                if not state.done:
+                    finalize(state, now, at_deadline=True)
+            elif priority == _EVT_TIMER:
+                assert isinstance(payload, _HedgeTimer)
+                state = states[payload.query_index]
+                if state.done:
+                    continue
+                subtask = state.subtasks[payload.partition_id]
+                attempt = subtask.in_flight.get(payload.token)
+                if (
+                    subtask.resolved
+                    or subtask.hedged
+                    or attempt is None
+                    or attempt.cancelled
+                ):
+                    continue
+                if dispatch_sub(state, subtask, now, is_hedge=True):
+                    subtask.hedged = True
+                    state.n_hedges += 1
+                    totals["hedges"] += 1
+            else:
+                assert isinstance(payload, _SubCompletion)
+                state = states[payload.query_index]
+                subtask = state.subtasks[payload.partition_id]
+                attempt = subtask.in_flight.pop(payload.token)
+                if attempt.cancelled:
+                    continue
+                node = self.nodes[attempt.shard_id]
+                if attempt.failed:
+                    board.breakers[attempt.shard_id].record(False, now)
+                    node.n_failed += 1
+                    if not subtask.resolved:
+                        if dispatch_sub(state, subtask, now, is_hedge=False):
+                            state.n_failovers += 1
+                            totals["failovers"] += 1
+                        elif not subtask.in_flight:
+                            subtask.lost = True
+                    maybe_finalize(state, now)
+                else:
+                    board.breakers[attempt.shard_id].record(True, now)
+                    node.n_served += 1
+                    if subtask.result is None:
+                        subtask.result = attempt.result
+                        if attempt.is_hedge:
+                            state.n_hedge_wins += 1
+                            totals["hedge_wins"] += 1
+                        for other in subtask.in_flight.values():
+                            if not other.cancelled:
+                                other.cancelled = True
+                                reclaimed_s += self.nodes[
+                                    other.shard_id
+                                ].reclaim(other.assignment, now)
+                    maybe_finalize(state, now)
+
+        done = [record for record in records if record is not None]
+        assert len(done) == queries.shape[0], "every request must be recorded"
+        stats = slo_stats(
+            [record.outcome for record in done],
+            [record.latency_s for record in done],
+            [record.recall for record in done],
+        )
+        served_coverage = [
+            record.coverage_fraction for record in done if record.served
+        ]
+        mean_coverage = (
+            sum(served_coverage) / len(served_coverage)
+            if served_coverage
+            else math.nan
+        )
+        # The horizon covers scheduled work that outlived the last
+        # finalize (declined reclaims), keeping utilization within [0, 1].
+        horizon = max(
+            makespan if makespan > 0.0 else float(schedule.span_s),
+            max(node.pool.free_times()[-1] for node in self.nodes),
+        )
+        mean_utilization = (
+            sum(node.pool.utilization(horizon) for node in self.nodes)
+            / len(self.nodes)
+            if horizon > 0.0
+            else 0.0
+        )
+        return ShardRunResult(
+            config=config,
+            placement=self.plan.report(),
+            records=done,
+            stats=stats,
+            mean_coverage=mean_coverage,
+            n_failovers=totals["failovers"],
+            n_hedges=totals["hedges"],
+            n_hedge_wins=totals["hedge_wins"],
+            n_breaker_skips=totals["breaker_skips"],
+            n_lost_partitions=totals["lost_partitions"],
+            reclaimed_s=reclaimed_s,
+            breaker_opens=board.total_opens,
+            breaker_state_counts=board.state_counts(),
+            breaker_transitions=board.transition_counts(),
+            shard_served=[node.n_served for node in self.nodes],
+            shard_failed=[node.n_failed for node in self.nodes],
+            makespan_s=horizon,
+            mean_utilization=mean_utilization,
+        )
+
+    def close(self) -> None:
+        """Release every partition sub-index."""
+        for searcher in self._searchers.values():
+            searcher.close()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

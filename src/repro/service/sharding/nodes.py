@@ -1,0 +1,114 @@
+"""Shard nodes: per-shard worker pools and searchers.
+
+A :class:`ShardNode` is the simulated server process of one shard: a
+:class:`~repro.simio.queueing.WorkerPool` of identical workers plus the
+partition searchers the placement stored there.  Sub-requests are
+FIFO-queued implicitly by the pool (work handed to the earliest-free
+worker starts when that worker frees up), exactly as in the single-node
+service — Tavenard et al.'s variability argument applies per shard, and
+the coordinator's scatter-gather tail is the max over these per-shard
+queues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...core.search import ChunkSearcher, SearchResult
+from ...core.stop_rules import StopRule
+from ...simio.queueing import WorkerPool
+
+__all__ = ["ShardNode", "SubAssignment"]
+
+
+class SubAssignment(Tuple[int, float, float]):
+    """``(worker, start_s, finish_s)`` of one accepted sub-request."""
+
+    __slots__ = ()
+
+    @property
+    def worker(self) -> int:
+        return self[0]
+
+    @property
+    def start_s(self) -> float:
+        return self[1]
+
+    @property
+    def finish_s(self) -> float:
+        return self[2]
+
+
+class ShardNode:
+    """One shard: its worker pool and the partitions it can serve.
+
+    ``searchers`` maps partition id -> the shard's own
+    :class:`~repro.core.search.ChunkSearcher` over that partition's
+    sub-index.  Every replica holds an identical sub-index, so which
+    holder executes a sub-request never changes the answer — only the
+    timing.
+    """
+
+    def __init__(self, shard_id: int, n_workers: int):
+        if shard_id < 0:
+            raise ValueError("shard id must be non-negative")
+        self.shard_id = int(shard_id)
+        self.pool = WorkerPool(n_workers)
+        self.searchers: Dict[int, ChunkSearcher] = {}
+        #: Sub-requests that completed successfully / failed here.
+        self.n_served = 0
+        self.n_failed = 0
+
+    def add_partition(self, partition_id: int, searcher: ChunkSearcher) -> None:
+        if partition_id in self.searchers:
+            raise ValueError(
+                f"shard {self.shard_id} already stores partition {partition_id}"
+            )
+        self.searchers[partition_id] = searcher
+
+    def stores(self, partition_id: int) -> bool:
+        return partition_id in self.searchers
+
+    def earliest_start(self, now: float) -> float:
+        """When a sub-request handed over at ``now`` would begin."""
+        return self.pool.earliest_start(now)
+
+    def execute(
+        self,
+        partition_id: int,
+        query: np.ndarray,
+        k: int,
+        stop_rule: Optional[StopRule],
+        query_index: int,
+    ) -> SearchResult:
+        """Run the partition search (pure; no clock side effects)."""
+        searcher = self.searchers.get(partition_id)
+        if searcher is None:
+            raise ValueError(
+                f"shard {self.shard_id} does not store partition {partition_id}"
+            )
+        return searcher.search(
+            query, k=k, stop_rule=stop_rule, query_index=query_index
+        )
+
+    def occupy(self, now: float, duration_s: float) -> SubAssignment:
+        """Charge ``duration_s`` of worker time starting at ``now``."""
+        worker, start, finish = self.pool.assign(now, duration_s)
+        return SubAssignment((worker, start, finish))
+
+    def reclaim(self, assignment: SubAssignment, at_s: float) -> float:
+        """Give back the unconsumed tail of a cancelled sub-request.
+
+        Declined (returns 0.0) when the worker has since been handed
+        further work — already-scheduled work is never rewritten.
+        """
+        cut = max(at_s, assignment.start_s)
+        return self.pool.truncate(
+            assignment.worker, cut, expected_free_s=assignment.finish_s
+        )
+
+    def close(self) -> None:
+        for searcher in self.searchers.values():
+            searcher.close()

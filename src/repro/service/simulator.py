@@ -92,6 +92,7 @@ class ServiceRunResult:
     service_estimate_s: float
     breaker_opens: int
     breaker_state_counts: Dict[str, int]
+    breaker_transitions: Dict[str, int]
     breaker_skipped_chunks: int
     makespan_s: float
     utilization: float
@@ -116,6 +117,7 @@ class ServiceRunResult:
             "breakers": {
                 "opens": self.breaker_opens,
                 "state_counts": dict(sorted(self.breaker_state_counts.items())),
+                "transitions": dict(sorted(self.breaker_transitions.items())),
                 "skipped_chunks": self.breaker_skipped_chunks,
             },
             "makespan_s": self.makespan_s,
@@ -377,6 +379,7 @@ class QueryService:
             service_estimate_s=admission.service_estimate_s,
             breaker_opens=board.total_opens,
             breaker_state_counts=board.state_counts(),
+            breaker_transitions=board.transition_counts(),
             breaker_skipped_chunks=breaker_skipped_chunks,
             makespan_s=horizon,
             utilization=pool.utilization(horizon) if horizon > 0.0 else 0.0,

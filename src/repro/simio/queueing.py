@@ -100,3 +100,38 @@ class WorkerPool:
         self.total_wait_s += start - now
         self.n_assigned += 1
         return worker, start, finish
+
+    # -- cancellation --------------------------------------------------------
+
+    def truncate(
+        self, worker: int, at_s: float, expected_free_s: float
+    ) -> float:
+        """Cut ``worker``'s current occupancy short at ``at_s``.
+
+        First-wins hedging needs to *reclaim* a loser's remaining
+        occupancy: when the duplicate of a hedged pair answers first,
+        the other copy's worker should stop burning simulated time.
+        The caller identifies the assignment being cancelled by its
+        scheduled finish time (``expected_free_s``, the value
+        :meth:`assign` returned); if the worker has since been handed
+        further work its free time no longer matches and the truncation
+        is declined — already-scheduled work is never rewritten, only
+        unconsumed capacity is returned.
+
+        Returns the simulated seconds reclaimed (0.0 when declined).
+        The reclaimed span is also credited back out of :attr:`busy_s`,
+        so utilization reflects work actually performed.
+        """
+        if at_s < 0.0:
+            raise ValueError(f"truncation time cannot be negative, got {at_s}")
+        for slot, (free_time, worker_id) in enumerate(self._free):
+            if worker_id != worker:
+                continue
+            if free_time != expected_free_s or at_s >= free_time:
+                return 0.0
+            self._free[slot] = (at_s, worker_id)
+            heapq.heapify(self._free)
+            freed = free_time - at_s
+            self.busy_s -= freed
+            return freed
+        raise ValueError(f"unknown worker {worker}")

@@ -6,6 +6,8 @@ import pytest
 from repro.core.metrics import (
     completion_stats,
     curves_from_traces,
+    percentile,
+    percentiles,
     precision_at_k,
     robustness_stats,
 )
@@ -145,3 +147,35 @@ class TestRobustnessStats:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             robustness_stats([])
+
+
+class TestPercentiles:
+    def test_nearest_rank_semantics(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentiles(values, (0.25, 0.5, 0.75, 1.0)) == [
+            10.0, 20.0, 30.0, 40.0,
+        ]
+        # ceil(0.26 * 4) = 2 -> second order statistic.
+        assert percentiles(values, (0.26,)) == [20.0]
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(7)
+        values = rng.random(31).tolist()
+        qs = (0.5, 0.9, 0.95, 0.99)
+        assert percentiles(values, qs) == [percentile(values, q) for q in qs]
+
+    def test_order_is_independent_of_input(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentiles(values, (0.99, 0.01)) == [3.0, 1.0]
+        assert percentiles(list(reversed(values)), (0.99, 0.01)) == [3.0, 1.0]
+
+    def test_single_value(self):
+        assert percentiles([42.0], (0.5, 0.99)) == [42.0, 42.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentiles([], (0.5,))
+        with pytest.raises(ValueError, match="q must lie"):
+            percentiles([1.0], (0.0,))
+        with pytest.raises(ValueError, match="q must lie"):
+            percentiles([1.0], (1.1,))

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.neighbors import Neighbor, NeighborSet
+from repro.core.neighbors import Neighbor, NeighborSet, merge_neighbor_lists
 
 
 class TestNeighbor:
@@ -133,3 +133,52 @@ class TestNeighborSet:
             assert math.isinf(ns.kth_distance)
         else:
             assert ns.kth_distance == max(n.distance for n in ns.sorted())
+
+
+class TestMergeNeighborLists:
+    def test_disjoint_merge_equals_global_top_k(self):
+        rng = np.random.default_rng(3)
+        distances = rng.random(30)
+        all_neighbors = [Neighbor(d, i) for i, d in enumerate(distances)]
+        parts = [all_neighbors[:10], all_neighbors[10:18], all_neighbors[18:]]
+        merged = merge_neighbor_lists(parts, k=7)
+        assert merged == sorted(all_neighbors)[:7]
+
+    def test_duplicate_ids_keep_the_best(self):
+        parts = [
+            [Neighbor(0.5, 1), Neighbor(0.9, 2)],
+            [Neighbor(0.3, 1), Neighbor(0.7, 3)],
+        ]
+        merged = merge_neighbor_lists(parts, k=10)
+        assert merged == [Neighbor(0.3, 1), Neighbor(0.7, 3), Neighbor(0.9, 2)]
+
+    def test_empty_inputs_merge_to_empty(self):
+        assert merge_neighbor_lists([], k=5) == []
+        assert merge_neighbor_lists([[], []], k=5) == []
+
+    def test_short_lists_return_what_exists(self):
+        merged = merge_neighbor_lists([[Neighbor(1.0, 4)]], k=10)
+        assert merged == [Neighbor(1.0, 4)]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            merge_neighbor_lists([], k=0)
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), max_size=30),
+        st.integers(1, 5),
+        st.integers(1, 10),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_property_matches_neighbor_set(self, distances, n_parts, k):
+        """Merging disjoint lists (ids unique, as partitions guarantee)
+        must agree with offering every element to one bounded
+        NeighborSet — the single-node accumulation order."""
+        neighbors = [Neighbor(d, i) for i, d in enumerate(distances)]
+        lists = [neighbors[part::n_parts] for part in range(n_parts)]
+        merged = merge_neighbor_lists(lists, k)
+        reference = NeighborSet(k)
+        for part in lists:
+            for neighbor in part:
+                reference.offer(neighbor.distance, neighbor.descriptor_id)
+        assert merged == reference.sorted()

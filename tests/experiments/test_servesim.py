@@ -48,6 +48,25 @@ class TestSweep:
         assert faulty_light["breaker_opens"] > 0
         assert clean_light["breaker_opens"] == 0
 
+    def test_breaker_transitions_ride_along_in_every_row(self, grid):
+        """The full state-machine tallies (open, half-open, close) are
+        part of the JSON contract, not just the open count."""
+        for row in grid.rows:
+            assert row["breaker_half_opens"] >= 0
+            assert row["breaker_closes"] >= 0
+            assert row["breaker_opens"] >= row["breaker_half_opens"]
+            assert row["breaker_half_opens"] >= row["breaker_closes"]
+        clean = {
+            (rate, load): row
+            for (rate, load), row in (
+                ((row["fault_rate"], row["load_factor"]), row)
+                for row in grid.rows
+            )
+            if rate == 0.0
+        }
+        for row in clean.values():
+            assert row["breaker_half_opens"] == row["breaker_closes"] == 0
+
     def test_sweep_is_deterministic(self, experiment_data, grid):
         again = servesim.sweep(experiment_data, **SWEEP_ARGS)
         assert again.rows == grid.rows

@@ -222,3 +222,39 @@ class TestBreakerGuardedInjector:
             FaultPlan(seed=1, read_error_rate=0.5), PAPER_2005_COST_MODEL
         )
         assert not BreakerGuardedInjector(live_inner, board, frozenset()).is_null
+
+
+class TestTransitionCounts:
+    def test_full_cycle_is_counted(self):
+        b = breaker(failure_threshold=2, cooldown_s=1.0, probe_successes=1)
+        b.record(False, now=0.0)
+        b.record(False, now=0.1)          # closed -> open
+        assert (b.open_count, b.half_open_count, b.close_count) == (1, 0, 0)
+        assert b.allow(now=1.2)           # open -> half-open
+        assert (b.open_count, b.half_open_count, b.close_count) == (1, 1, 0)
+        b.record(True, now=1.3)           # half-open -> closed
+        assert (b.open_count, b.half_open_count, b.close_count) == (1, 1, 1)
+
+    def test_failed_probe_reopens_without_closing(self):
+        b = breaker(failure_threshold=2, cooldown_s=1.0, probe_successes=1)
+        b.record(False, now=0.0)
+        b.record(False, now=0.1)
+        assert b.allow(now=1.2)
+        b.record(False, now=1.3)          # half-open -> open again
+        assert (b.open_count, b.half_open_count, b.close_count) == (2, 1, 0)
+
+    def test_board_aggregates_transitions(self):
+        board = BreakerBoard(
+            n_chunks=8, region_size=4, window=4,
+            failure_threshold=2, cooldown_s=1.0, probe_successes=1,
+        )
+        for _ in range(2):
+            board.breakers[0].record(False, now=0.0)
+        assert board.transition_counts() == {
+            "opened": 1, "half_opened": 0, "closed": 0,
+        }
+        assert board.breakers[0].allow(now=1.5)
+        board.breakers[0].record(True, now=1.6)
+        assert board.transition_counts() == {
+            "opened": 1, "half_opened": 1, "closed": 1,
+        }

@@ -84,3 +84,49 @@ class TestIntrospection:
     def test_needs_at_least_one_worker(self):
         with pytest.raises(ValueError, match="worker"):
             WorkerPool(0)
+
+
+class TestTruncate:
+    def test_reclaims_the_unconsumed_tail(self):
+        pool = WorkerPool(1)
+        worker, _, finish = pool.assign(0.0, 4.0)
+        assert pool.busy_s == 4.0
+        freed = pool.truncate(worker, 1.5, expected_free_s=finish)
+        assert freed == 2.5
+        assert pool.busy_s == 1.5
+        assert pool.free_times() == [1.5]
+
+    def test_freed_capacity_is_reusable(self):
+        pool = WorkerPool(1)
+        worker, _, finish = pool.assign(0.0, 4.0)
+        pool.truncate(worker, 1.0, expected_free_s=finish)
+        _, start, _ = pool.assign(0.5, 1.0)
+        assert start == 1.0
+
+    def test_declines_when_worker_moved_on(self):
+        """A cancelled assignment whose worker already accepted later
+        work must not be rewritten — the free time no longer matches."""
+        pool = WorkerPool(1)
+        worker, _, first_finish = pool.assign(0.0, 2.0)
+        pool.assign(0.0, 3.0)  # queued behind; free time now 5.0
+        assert pool.truncate(worker, 1.0, expected_free_s=first_finish) == 0.0
+        assert pool.busy_s == 5.0
+
+    def test_declines_when_cut_is_past_the_finish(self):
+        pool = WorkerPool(2)
+        worker, _, finish = pool.assign(0.0, 1.0)
+        assert pool.truncate(worker, 1.0, expected_free_s=finish) == 0.0
+        assert pool.truncate(worker, 2.0, expected_free_s=finish) == 0.0
+        assert pool.busy_s == 1.0
+
+    def test_unknown_worker_rejected(self):
+        pool = WorkerPool(1)
+        pool.assign(0.0, 1.0)
+        with pytest.raises(ValueError, match="unknown worker"):
+            pool.truncate(7, 0.5, expected_free_s=1.0)
+
+    def test_negative_cut_rejected(self):
+        pool = WorkerPool(1)
+        worker, _, finish = pool.assign(0.0, 1.0)
+        with pytest.raises(ValueError):
+            pool.truncate(worker, -0.1, expected_free_s=finish)
