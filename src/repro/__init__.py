@@ -54,13 +54,16 @@ from .core import (
     MaxChunks,
     NeighborSet,
     SearchResult,
+    StreamingChunkIndex,
     TimeBudget,
     build_chunk_index,
     exact_knn,
     exact_knn_batch,
     precision_at_k,
+    verify_streaming_index,
 )
 from .simio import PAPER_2005_COST_MODEL, CostModel, CpuModel, DiskModel
+from .storage import delete_op, insert_op
 from .srtree import SRTree, bulk_load
 from .system import ImageRetrievalSystem
 from .workloads import (
@@ -95,11 +98,15 @@ __all__ = [
     "MaxChunks",
     "NeighborSet",
     "SearchResult",
+    "StreamingChunkIndex",
     "TimeBudget",
     "build_chunk_index",
+    "delete_op",
     "exact_knn",
     "exact_knn_batch",
+    "insert_op",
     "precision_at_k",
+    "verify_streaming_index",
     "PAPER_2005_COST_MODEL",
     "CostModel",
     "CpuModel",

@@ -121,6 +121,8 @@ TIME_UNIT_SOURCES: Mapping[str, str] = {
     "repro.simio.disk_model.DiskModel.transfer_time_s": "sim",
     "repro.simio.disk_model.DiskModel.random_read_time_s": "sim",
     "repro.simio.disk_model.DiskModel.sequential_read_time_s": "sim",
+    "repro.simio.disk_model.DiskModel.sequential_write_time_s": "sim",
+    "repro.simio.disk_model.DiskModel.sync_time_s": "sim",
     "repro.simio.cpu_model.CpuModel.chunk_processing_time_s": "sim",
     "repro.simio.cpu_model.CpuModel.ranking_time_s": "sim",
     "repro.faults.plan.FaultPlan.backoff_delay_s": "sim",
@@ -135,6 +137,28 @@ TIME_UNIT_SINKS: Mapping[str, str] = {
     "repro.simio.clock.SimulatedClock.advance": "sim",
     "repro.simio.clock.SimulatedClock.advance_to": "sim",
 }
+
+#: The only files that may write or rename durable on-disk artifacts
+#: directly.  ``storage/atomic.py`` owns write-temp/fsync/rename,
+#: ``storage/chunk_file.py`` layers CRC tables on the same discipline,
+#: and ``storage/wal.py`` owns the framed group commit.  Everything else
+#: must publish through them (DUR001).
+DURABLE_WRITE_SANCTIONED: FrozenSet[str] = frozenset(
+    {"storage/atomic.py", "storage/chunk_file.py", "storage/wal.py"}
+)
+
+#: Path-expression substrings that mark a write target as a durable
+#: search artifact (outside the storage layer, DUR001 flags only writes
+#: whose arguments mention one of these; report/plot outputs stay free).
+DURABLE_PATH_KEYWORDS: Tuple[str, ...] = (
+    "wal",
+    "chunk",
+    "index",
+    "collection",
+    "segment",
+    "manifest",
+    "delta",
+)
 
 #: Entropy-consuming constructors and the argument that receives the
 #: seed: canonical dotted name -> (positional index, keyword name).
@@ -168,6 +192,8 @@ class LintConfig:
     seed_slots: Mapping[str, Tuple[int, str]] = dataclasses.field(
         default_factory=lambda: dict(SEED_SLOTS)
     )
+    durable_write_sanctioned: FrozenSet[str] = DURABLE_WRITE_SANCTIONED
+    durable_path_keywords: Tuple[str, ...] = DURABLE_PATH_KEYWORDS
 
     def layer_of(self, relpath: str) -> str:
         """Layer name for a package-relative posix path.

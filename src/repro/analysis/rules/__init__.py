@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from .base import FileContext, ImportTable, ProjectRule, Rule, resolve_call_target
 from .determinism import LegacyNumpyRandomRule, StdlibRandomRule, UnseededRngRule
 from .dtype import ArrayDtypeDeclarationRule, Float32IntoKernelRule
+from .durability import DurabilityRule
 from .layering import LayerBoundaryRule
 from .project_rules import (
     ContractTagRule,
@@ -46,6 +47,7 @@ RULE_CLASSES = (
     UnseededRngRule,
     Float32IntoKernelRule,
     ArrayDtypeDeclarationRule,
+    DurabilityRule,
     LayerBoundaryRule,
     TimeUnitMixRule,
     WallClockSinkRule,

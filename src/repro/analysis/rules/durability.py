@@ -1,0 +1,124 @@
+"""DUR001 — durable writes go through the sanctioned paths.
+
+Every on-disk artifact the search depends on (collection, chunk and
+index files, WAL logs, delta segments, manifests) must be produced by
+one of the two crash-safe write sites: the write-temp/fsync/rename
+helper in :mod:`repro.storage.atomic` (and the chunk-file writer built
+on the same discipline) or the WAL writer's framed group commit.  A
+bare ``open(path, "w")`` or ``os.replace`` anywhere else can leave a
+torn file under a final name — a durability hole no test notices until
+a crash lands in exactly the wrong window.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..diagnostics import Diagnostic
+from .base import FileContext, Rule, resolve_call_target
+
+__all__ = ["DurabilityRule"]
+
+#: Fully-resolved call targets that rename over a final name.
+_RENAME_CALLS = frozenset({"os.replace", "os.rename"})
+
+#: Method names that write a whole file through a path object.
+_PATH_WRITE_METHODS = frozenset({"write_bytes", "write_text"})
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The constant mode string of an ``open`` call if it writes.
+
+    Returns ``None`` for read-only modes and for dynamic mode
+    expressions (conservative: only provably-writing calls are flagged).
+    """
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(flag in mode.value for flag in "wax+"):
+            return mode.value
+        return None
+    return None
+
+
+class DurabilityRule(Rule):
+    id = "DUR001"
+    summary = (
+        "direct write/rename to a collection/index/chunk/WAL path outside "
+        "storage.atomic or the WAL writer; use the crash-safe write sites"
+    )
+    rationale = (
+        "Crash safety in this repo is a property of exactly three write\n"
+        "sites: storage/atomic.py (write-temp, fsync, atomic rename),\n"
+        "storage/chunk_file.py (the same discipline plus CRC tables) and\n"
+        "storage/wal.py (framed, checksummed group commit).  Recovery\n"
+        "reasons about what those sites guarantee — a file under its\n"
+        "final name is complete, a WAL batch past its commit marker is\n"
+        "whole.  A bare open(path, 'w') or os.replace against an index,\n"
+        "chunk, collection, segment, manifest or WAL path anywhere else\n"
+        "can publish a torn file and silently break every one of those\n"
+        "recovery invariants.  Inside the storage layer any direct write\n"
+        "is flagged; elsewhere, writes whose path expressions mention a\n"
+        "durable artifact are.  Report/plot outputs (JSON exports, SARIF)\n"
+        "are not durable state and stay unflagged."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.relpath in ctx.config.durable_write_sanctioned:
+            return
+        in_storage = ctx.layer == "storage"
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            description = self._write_description(node, ctx)
+            if description is None:
+                continue
+            if not in_storage and not self._touches_durable_path(node, ctx):
+                continue
+            yield ctx.diagnostic(
+                node,
+                self.id,
+                f"{description}; durable artifacts must be written via "
+                "storage.atomic or the WAL writer",
+            )
+
+    def _write_description(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Optional[str]:
+        """A human-readable label when ``node`` performs a file write."""
+        target = resolve_call_target(node.func, ctx.imports)
+        if target in _RENAME_CALLS:
+            return f"direct {target}() over a final name"
+        if target == "open" or (
+            isinstance(node.func, ast.Name) and node.func.id == "open"
+        ):
+            mode = _open_write_mode(node)
+            if mode is not None:
+                return f"direct open(..., {mode!r})"
+            return None
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PATH_WRITE_METHODS
+        ):
+            return f"direct .{node.func.attr}()"
+        return None
+
+    def _touches_durable_path(self, node: ast.Call, ctx: FileContext) -> bool:
+        """True when any argument expression names a durable artifact."""
+        pieces = [ast.unparse(arg) for arg in node.args]
+        pieces.extend(
+            ast.unparse(keyword.value) for keyword in node.keywords
+        )
+        if isinstance(node.func, ast.Attribute):
+            pieces.append(ast.unparse(node.func.value))
+        text = " ".join(pieces).lower()
+        return any(
+            keyword in text for keyword in ctx.config.durable_path_keywords
+        )

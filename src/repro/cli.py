@@ -11,6 +11,9 @@ Usage::
     repro faultsim [--rates 0,0.1,0.3]       # quality-vs-fault-rate sweep
     repro servesim [--loads 0.5,2,8]         # simulated-traffic service sweep
     repro shardsim [--shards 2,4,8]          # sharded scatter-gather sweep
+    repro ingestsim [--crashes 3]            # streaming ingest under crashes
+    repro ingestsim --crash-matrix 0         # kill/recover at every boundary
+    repro verify-index DIR                   # deep-check a streaming index
     repro lint [PATH]                        # AST-based invariant checker
 
 The experiment subcommand regenerates the paper artefacts (Tables 1-2,
@@ -30,6 +33,7 @@ from .experiments import (
     chunk_size_sweep,
     faultsim,
     fig1,
+    ingestsim,
     quality_figures,
     servesim,
     shardsim,
@@ -345,6 +349,67 @@ def _build_parser() -> argparse.ArgumentParser:
     shardsim_p.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="resume file: finished grid cells are skipped on rerun",
+    )
+
+    ingestsim_p = sub.add_parser(
+        "ingestsim",
+        help=(
+            "streaming-ingest watch mode: grow the on-disk index 10%%->100%% "
+            "under interleaved queries, crashes and compactions"
+        ),
+    )
+    ingestsim_p.add_argument("--scale", default="test")
+    ingestsim_p.add_argument(
+        "--seed", type=int, default=ingestsim.DEFAULT_SEED,
+        help="root seed (default: %(default)s)",
+    )
+    ingestsim_p.add_argument(
+        "--steps", type=int, default=None,
+        help="growth steps from the 10%% base to the full collection",
+    )
+    ingestsim_p.add_argument(
+        "--batch-ops", type=int, default=None,
+        help="operations per WAL batch (one group commit each)",
+    )
+    ingestsim_p.add_argument(
+        "--delete-fraction", type=float, default=None,
+        help="deletes per step as a fraction of that step's inserts",
+    )
+    ingestsim_p.add_argument(
+        "--crashes", type=int, default=None,
+        help="seeded kills injected at protocol boundaries across the run",
+    )
+    ingestsim_p.add_argument(
+        "--compact-every", type=int, default=None,
+        help="checkpoint (compaction) period, in growth steps",
+    )
+    ingestsim_p.add_argument(
+        "--crash-matrix", type=int, default=None, metavar="N",
+        help=(
+            "instead of watch mode: kill the writer at N seeded protocol "
+            "boundaries (0 = every boundary), recover and deep-verify each"
+        ),
+    )
+    ingestsim_p.add_argument(
+        "--workdir", default=None,
+        help="working directory for the on-disk index (default: a temp dir)",
+    )
+    ingestsim_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the deterministic JSON report to PATH",
+    )
+
+    verify_p = sub.add_parser(
+        "verify-index",
+        help=(
+            "deep-check a streaming-index directory: checksums, extents, "
+            "exact centroids/radii, WAL continuity, liveness accounting"
+        ),
+    )
+    verify_p.add_argument("directory", help="streaming-index directory")
+    verify_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the check report as JSON to PATH",
     )
 
     lint = sub.add_parser(
@@ -769,6 +834,118 @@ def _cmd_shardsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingestsim(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    import shutil
+    import tempfile
+
+    scale = get_scale(args.scale)
+    overrides = {}
+    if args.steps is not None:
+        overrides["steps"] = args.steps
+    if args.batch_ops is not None:
+        overrides["batch_ops"] = args.batch_ops
+    if args.delete_fraction is not None:
+        overrides["delete_fraction"] = args.delete_fraction
+    if args.crashes is not None:
+        overrides["n_crashes"] = args.crashes
+    if args.compact_every is not None:
+        overrides["compact_every"] = args.compact_every
+    try:
+        config = dataclasses.replace(ingestsim.IngestSimConfig(), **overrides)
+    except ValueError as exc:
+        raise CliError(str(exc))
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-ingestsim-")
+    failed = False
+    try:
+        if args.crash_matrix is not None:
+            if args.crash_matrix < 0:
+                raise CliError(
+                    f"--crash-matrix cannot be negative, got {args.crash_matrix}"
+                )
+            n_points = args.crash_matrix or None  # 0 = every boundary
+            report = ingestsim.crash_matrix(
+                scale, workdir, seed=args.seed, n_points=n_points
+            )
+            print(
+                f"crash matrix: scale={report['scale']} seed={report['seed']} "
+                f"sites={report['n_sites']} tested={len(report['results'])}"
+            )
+            for row in report["results"]:
+                verdict = "ok" if row["crashed"] and row["verify_ok"] else "FAIL"
+                print(
+                    f"  step {row['step']:3d}  {row['site']:<18s} "
+                    f"recovered {row['n_descriptors']:5d} descriptors  {verdict}"
+                )
+            failed = not report["all_ok"]
+            print(f"all recoveries consistent: {report['all_ok']}")
+        else:
+            report = ingestsim.simulate(
+                scale, workdir, seed=args.seed, config=config
+            )
+            print(
+                f"ingestsim: scale={report['scale']} seed={report['seed']} "
+                f"k={report['k']} total={report['n_total']} "
+                f"base={report['base_size']}"
+            )
+            header = (
+                f"{'step':>4s} {'frac':>6s} {'descr':>6s} {'chunks':>6s} "
+                f"{'recall':>7s} {'ms/query':>9s} {'io_s':>8s} {'recov':>5s}"
+            )
+            print(header)
+            for row in report["series"]:
+                print(
+                    f"{row['step']:4d} {row['fraction']:6.2f} "
+                    f"{row['n_descriptors']:6d} {row['n_chunks']:6d} "
+                    f"{row['recall']:7.4f} {row['elapsed_ms']:9.3f} "
+                    f"{row['ingest_io_s']:8.4f} {row['recoveries']:5d}"
+                )
+            print(
+                f"crashes injected {report['crashes_injected']}, "
+                f"unacked batches replayed {report['unacked_batches_replayed']}, "
+                f"final verify ok: {report['final_verify_ok']}"
+            )
+            failed = not report["final_verify_ok"]
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            print(f"wrote JSON report to {args.json}")
+    finally:
+        if args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+    if failed:
+        raise CliError("ingestsim consistency check failed (see report above)")
+    return 0
+
+
+def _cmd_verify_index(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.ingest import verify_streaming_index
+
+    report = verify_streaming_index(args.directory)
+    for check in report["checks"]:
+        verdict = "ok" if check["ok"] else "FAIL"
+        print(f"{check['name']:<10s} {verdict:<4s} {check['detail']}")
+    if report["ok"]:
+        print(
+            f"index ok: {report['n_descriptors']} descriptors in "
+            f"{report['n_chunks']} chunks, {report['replayed_batches']} "
+            f"replayed batches, {report['torn_bytes']} torn WAL bytes"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    if not report["ok"]:
+        raise CliError(f"index verification failed for {args.directory}")
+    return 0
+
+
 _COMMANDS = {
     "list-experiments": _cmd_list,
     "experiment": _cmd_experiment,
@@ -782,6 +959,8 @@ _COMMANDS = {
     "faultsim": _cmd_faultsim,
     "servesim": _cmd_servesim,
     "shardsim": _cmd_shardsim,
+    "ingestsim": _cmd_ingestsim,
+    "verify-index": _cmd_verify_index,
     "lint": run_lint,
 }
 

@@ -25,7 +25,13 @@ from .chunk import Chunk, ChunkMeta, ChunkSet
 from .chunk_index import ChunkIndex, build_chunk_index
 from .dataset import DEFAULT_DIMENSIONS, DescriptorCollection
 from .ground_truth import GroundTruthStore, exact_knn, exact_knn_batch
-from .maintenance import ChunkIndexMaintainer, MaintenanceStats
+from .ingest import (
+    CheckpointReport,
+    RecoveryReport,
+    StreamingChunkIndex,
+    verify_streaming_index,
+)
+from .maintenance import ChunkIndexMaintainer, ChunkSnapshot, MaintenanceStats
 from .metrics import (
     CompletionStats,
     QualityCurves,
@@ -58,7 +64,12 @@ __all__ = [
     "PacApproximation",
     "estimate_epsilon",
     "ChunkIndexMaintainer",
+    "ChunkSnapshot",
     "MaintenanceStats",
+    "StreamingChunkIndex",
+    "RecoveryReport",
+    "CheckpointReport",
+    "verify_streaming_index",
     "Chunk",
     "ChunkMeta",
     "ChunkSet",

@@ -18,12 +18,24 @@ inserts and deletes while preserving the invariants the search relies on:
 
 The maintainer tracks fragmentation (dead pages left by relocations) so
 callers can decide when a compaction/rebuild pays off.
+
+For the durable streaming index (:mod:`repro.core.ingest`) each chunk
+additionally carries its *provenance* relative to the last persisted base
+generation: ``base_ref`` names the base chunk it descends from and
+``origins[i]`` is the base row member ``i`` came from (``-1`` for rows
+inserted since).  Within a chunk the base-origin members always form a
+prefix in base-row order followed by the appended members in insertion
+order — inserts append, deletes remove in place, splits keep subsets in
+row order, and merged-in members are recorded as appends — which is
+exactly the tombstone-bitmap + append-segment shape the checkpoint
+writes, and what makes a recovered chunk's member order (hence its
+``numpy.mean`` centroid) bit-identical to the uncrashed process.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +45,7 @@ from .chunk import ChunkMeta, summarize_members
 from .chunk_index import ChunkIndex, InMemoryChunkStore
 from .distance import squared_distances
 
-__all__ = ["ChunkIndexMaintainer", "MaintenanceStats"]
+__all__ = ["ChunkIndexMaintainer", "MaintenanceStats", "ChunkSnapshot"]
 
 
 @dataclasses.dataclass
@@ -48,10 +60,57 @@ class MaintenanceStats:
     dead_pages: int = 0
 
 
+class ChunkSnapshot(NamedTuple):
+    """Externalized state of one maintained chunk.
+
+    Returned by :meth:`ChunkIndexMaintainer.snapshot` (the checkpoint
+    writer consumes it) and accepted by
+    :meth:`ChunkIndexMaintainer.restore` (recovery rebuilds from it).
+
+    Attributes
+    ----------
+    ids:
+        Member descriptor ids, in chunk order.
+    vectors:
+        ``(n, d)`` float32 member matrix, rows parallel to ``ids``.
+    origins:
+        Per-member base-row provenance: the row index within base chunk
+        ``base_ref`` the member came from, ``-1`` for members appended
+        since the base generation.
+    base_ref:
+        Base-generation chunk id this chunk descends from (``-1`` none).
+    delta_file:
+        Name of the delta segment currently representing this chunk's
+        divergence from base (``None`` when clean or never checkpointed).
+    dirty:
+        True when the chunk mutated since the last checkpoint.
+    page_offset / page_count:
+        The chunk's logical page extent.
+    """
+
+    ids: Tuple[int, ...]
+    vectors: np.ndarray
+    origins: Tuple[int, ...]
+    base_ref: int
+    delta_file: Optional[str]
+    dirty: bool
+    page_offset: int
+    page_count: int
+
+
 class _MutableChunk:
     """Mutable chunk state: parallel id/vector arrays plus page extent."""
 
-    __slots__ = ("ids", "vectors", "page_offset", "page_count")
+    __slots__ = (
+        "ids",
+        "vectors",
+        "page_offset",
+        "page_count",
+        "base_ref",
+        "origins",
+        "dirty",
+        "delta_file",
+    )
 
     def __init__(
         self,
@@ -59,6 +118,10 @@ class _MutableChunk:
         vectors: Sequence[np.ndarray],
         page_offset: int,
         page_count: int,
+        base_ref: int = -1,
+        origins: Optional[Sequence[int]] = None,
+        dirty: bool = True,
+        delta_file: Optional[str] = None,
     ):
         self.ids: List[int] = list(int(i) for i in ids)
         self.vectors: List[np.ndarray] = [
@@ -66,6 +129,14 @@ class _MutableChunk:
         ]
         self.page_offset = int(page_offset)
         self.page_count = int(page_count)
+        self.base_ref = int(base_ref)
+        self.origins: List[int] = (
+            [int(o) for o in origins] if origins is not None else [-1] * len(self.ids)
+        )
+        if len(self.origins) != len(self.ids):
+            raise ValueError("origins must parallel ids")
+        self.dirty = bool(dirty)
+        self.delta_file = delta_file
 
     def matrix(self) -> np.ndarray:
         """Pending vectors stacked into an ``(n, d)`` float32 matrix."""
@@ -101,34 +172,58 @@ class ChunkIndexMaintainer:
         merge_fraction: float = 0.2,
         geometry: Optional[PageGeometry] = None,
     ):
-        if split_factor <= 1.0:
-            raise ValueError("split_factor must exceed 1")
-        if not 0.0 <= merge_fraction < 1.0:
-            raise ValueError("merge_fraction must be in [0, 1)")
-        self.dimensions = index.dimensions
-        self.geometry = geometry or PageGeometry()
-        self._codec = RecordCodec(self.dimensions)
         counts = index.descriptor_counts()
-        self.target_chunk_size = int(
+        target = int(
             target_chunk_size
             if target_chunk_size is not None
             else max(1, round(float(counts.mean())))
         )
-        if self.target_chunk_size < 1:
-            raise ValueError("target chunk size must be positive")
-        self.split_factor = float(split_factor)
-        self.merge_fraction = float(merge_fraction)
-        self.stats = MaintenanceStats()
-
-        self._chunks: List[_MutableChunk] = []
-        self._next_page = 0
+        chunks: List[_MutableChunk] = []
+        next_page = 0
         for chunk_id in range(index.n_chunks):
             ids, vectors = index.read_chunk(chunk_id)
             meta = index.metas[chunk_id]
-            self._chunks.append(
+            chunks.append(
                 _MutableChunk(ids, vectors, meta.page_offset, meta.page_count)
             )
-            self._next_page = max(self._next_page, meta.page_offset + meta.page_count)
+            next_page = max(next_page, meta.page_offset + meta.page_count)
+        self._setup(
+            dimensions=index.dimensions,
+            chunks=chunks,
+            next_page=next_page,
+            target_chunk_size=target,
+            split_factor=split_factor,
+            merge_fraction=merge_fraction,
+            geometry=geometry,
+            stats=MaintenanceStats(),
+        )
+
+    def _setup(
+        self,
+        dimensions: int,
+        chunks: List[_MutableChunk],
+        next_page: int,
+        target_chunk_size: int,
+        split_factor: float,
+        merge_fraction: float,
+        geometry: Optional[PageGeometry],
+        stats: MaintenanceStats,
+    ) -> None:
+        if split_factor <= 1.0:
+            raise ValueError("split_factor must exceed 1")
+        if not 0.0 <= merge_fraction < 1.0:
+            raise ValueError("merge_fraction must be in [0, 1)")
+        if target_chunk_size < 1:
+            raise ValueError("target chunk size must be positive")
+        self.dimensions = int(dimensions)
+        self.geometry = geometry or PageGeometry()
+        self._codec = RecordCodec(self.dimensions)
+        self.target_chunk_size = int(target_chunk_size)
+        self.split_factor = float(split_factor)
+        self.merge_fraction = float(merge_fraction)
+        self.stats = stats
+        self._chunks = chunks
+        self._next_page = int(next_page)
         self._chunk_of_id: Dict[int, int] = {}
         for position, chunk in enumerate(self._chunks):
             for descriptor_id in chunk.ids:
@@ -140,6 +235,52 @@ class ChunkIndexMaintainer:
             [summarize_members(c.matrix())[0] for c in self._chunks]
         )
 
+    @classmethod
+    def restore(
+        cls,
+        dimensions: int,
+        chunks: Sequence[ChunkSnapshot],
+        next_page: int,
+        target_chunk_size: int,
+        split_factor: float = 2.0,
+        merge_fraction: float = 0.2,
+        geometry: Optional[PageGeometry] = None,
+        stats: Optional[MaintenanceStats] = None,
+    ) -> "ChunkIndexMaintainer":
+        """Rebuild a maintainer from externalized chunk state.
+
+        This is the recovery entry point: chunk contents, member order,
+        provenance, page extents and the allocation frontier are restored
+        exactly, so subsequent operations (WAL replay included) take the
+        same code path — and produce bit-identical state — as the process
+        that wrote the checkpoint.
+        """
+        mutable = [
+            _MutableChunk(
+                snap.ids,
+                [row for row in np.asarray(snap.vectors, dtype=np.float32)],
+                snap.page_offset,
+                snap.page_count,
+                base_ref=snap.base_ref,
+                origins=snap.origins,
+                dirty=snap.dirty,
+                delta_file=snap.delta_file,
+            )
+            for snap in chunks
+        ]
+        self = object.__new__(cls)
+        self._setup(
+            dimensions=dimensions,
+            chunks=mutable,
+            next_page=next_page,
+            target_chunk_size=target_chunk_size,
+            split_factor=split_factor,
+            merge_fraction=merge_fraction,
+            geometry=geometry,
+            stats=stats if stats is not None else MaintenanceStats(),
+        )
+        return self
+
     # -- bookkeeping helpers ---------------------------------------------------
 
     def __len__(self) -> int:
@@ -148,6 +289,14 @@ class ChunkIndexMaintainer:
     @property
     def n_chunks(self) -> int:
         return len(self._chunks)
+
+    @property
+    def next_page(self) -> int:
+        """The page-allocation frontier (first never-allocated page)."""
+        return self._next_page
+
+    def __contains__(self, descriptor_id: int) -> bool:
+        return int(descriptor_id) in self._chunk_of_id
 
     def _pages_needed(self, n_descriptors: int) -> int:
         return self.geometry.pages_for(n_descriptors * self._codec.record_bytes)
@@ -187,6 +336,8 @@ class ChunkIndexMaintainer:
         chunk = self._chunks[position]
         chunk.ids.append(descriptor_id)
         chunk.vectors.append(vector)
+        chunk.origins.append(-1)
+        chunk.dirty = True
         self._chunk_of_id[descriptor_id] = position
         self._refresh_centroid(position)
         self._reextent(position)
@@ -206,6 +357,8 @@ class ChunkIndexMaintainer:
         row = chunk.ids.index(descriptor_id)
         chunk.ids.pop(row)
         chunk.vectors.pop(row)
+        chunk.origins.pop(row)
+        chunk.dirty = True
         self.stats.deletes += 1
 
         if len(chunk) == 0:
@@ -244,6 +397,9 @@ class ChunkIndexMaintainer:
 
         keep_rows = np.flatnonzero(assignment == 0)
         move_rows = np.flatnonzero(assignment == 1)
+        # The moved half loses its base linkage: its members become plain
+        # appends of a new (baseless) chunk, keeping the origin-prefix
+        # invariant trivially true for both halves.
         moved = _MutableChunk(
             [chunk.ids[i] for i in move_rows],
             [chunk.vectors[i] for i in move_rows],
@@ -253,6 +409,8 @@ class ChunkIndexMaintainer:
         self._next_page += moved.page_count
         chunk.ids = [chunk.ids[i] for i in keep_rows]
         chunk.vectors = [chunk.vectors[i] for i in keep_rows]
+        chunk.origins = [chunk.origins[i] for i in keep_rows]
+        chunk.dirty = True
 
         new_position = len(self._chunks)
         self._chunks.append(moved)
@@ -282,6 +440,11 @@ class ChunkIndexMaintainer:
         target = self._chunks[other]
         target.ids.extend(chunk.ids)
         target.vectors.extend(chunk.vectors)
+        # Merged-in members count as appends of the surviving chunk:
+        # their link to the dissolved chunk's base is severed, so the
+        # surviving chunk's origin-prefix invariant is preserved.
+        target.origins.extend([-1] * len(chunk.ids))
+        target.dirty = True
         for descriptor_id in chunk.ids:
             self._chunk_of_id[descriptor_id] = other
         self._refresh_centroid(other)
@@ -290,7 +453,52 @@ class ChunkIndexMaintainer:
         # Drop AFTER rewiring so position shifts are applied consistently.
         chunk.ids = []
         chunk.vectors = []
+        chunk.origins = []
         self._drop_chunk(position)
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def snapshot(self, position: int) -> ChunkSnapshot:
+        """Externalized state of one chunk (checkpoint writer input)."""
+        chunk = self._chunks[position]
+        return ChunkSnapshot(
+            ids=tuple(chunk.ids),
+            vectors=chunk.matrix(),
+            origins=tuple(chunk.origins),
+            base_ref=chunk.base_ref,
+            delta_file=chunk.delta_file,
+            dirty=chunk.dirty,
+            page_offset=chunk.page_offset,
+            page_count=chunk.page_count,
+        )
+
+    def dirty_positions(self) -> List[int]:
+        """Positions of chunks mutated since their last checkpoint."""
+        return [i for i, chunk in enumerate(self._chunks) if chunk.dirty]
+
+    def checkpointed(self, position: int, delta_file: Optional[str]) -> None:
+        """Record that a checkpoint captured this chunk's current state.
+
+        ``delta_file`` names the segment now representing its divergence
+        from base (``None`` when the chunk is byte-identical to its base
+        chunk and needs no segment).
+        """
+        chunk = self._chunks[position]
+        chunk.delta_file = delta_file
+        chunk.dirty = False
+
+    def rebase(self) -> None:
+        """Declare the current state a fresh base generation.
+
+        Called after a full rebuild persisted every chunk: each chunk
+        becomes a clean base chunk (``base_ref`` = its position, every
+        member a base row, no delta segment).
+        """
+        for position, chunk in enumerate(self._chunks):
+            chunk.base_ref = position
+            chunk.origins = list(range(len(chunk)))
+            chunk.dirty = False
+            chunk.delta_file = None
 
     # -- export -----------------------------------------------------------------------
 
@@ -306,7 +514,9 @@ class ChunkIndexMaintainer:
 
         The on-disk equivalent is a single sequential rewrite of the chunk
         file (cheap relative to the random I/O the holes would cost).
-        Returns the number of pages reclaimed.
+        Returns the number of pages reclaimed.  Only extents move — chunk
+        *contents* are untouched, so clean chunks stay clean (the manifest
+        records the new extents at the next checkpoint).
         """
         before = self._next_page
         next_page = 0

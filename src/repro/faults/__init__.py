@@ -14,6 +14,13 @@ quality-vs-fault-rate curve, regardless of execution engine or thread
 count.
 """
 
+from .crash_plan import (
+    CrashAtStep,
+    CrashPlan,
+    InjectedCrash,
+    RecordingCrashPlan,
+    seeded_crash_steps,
+)
 from .injector import FaultInjector, FaultyFile, InjectedFaultError
 from .shard_plan import SHARD_OK, ShardFaultPlan, ShardSubFault
 from .plan import (
@@ -29,6 +36,11 @@ from .plan import (
 )
 
 __all__ = [
+    "CrashPlan",
+    "RecordingCrashPlan",
+    "CrashAtStep",
+    "InjectedCrash",
+    "seeded_crash_steps",
     "FaultPlan",
     "ShardFaultPlan",
     "ShardSubFault",

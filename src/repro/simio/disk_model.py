@@ -84,3 +84,27 @@ class DiskModel:
         if n_bytes < 0:
             raise ValueError("cannot read a negative byte count")
         return self.positioning_time_s + self.transfer_time_s(n_bytes)
+
+    def sequential_write_time_s(self, n_bytes: int) -> float:
+        """A sequential write (append or file rewrite): position, stream.
+
+        The 2004-era disk writes at its sustained transfer rate once the
+        head is positioned, so the model mirrors
+        :meth:`sequential_read_time_s`.  Streaming-ingest mutations (WAL
+        appends, delta segments, base rebuilds, manifests) are charged
+        through this path.
+        """
+        if n_bytes < 0:
+            raise ValueError("cannot write a negative byte count")
+        return self.positioning_time_s + self.transfer_time_s(n_bytes)
+
+    @property
+    def sync_time_s(self) -> float:
+        """Cost of one durability barrier (``fsync``).
+
+        Modeled as a seek plus a full platter revolution (twice the
+        average rotational latency): the head must reach the track and
+        the sector must pass under it before the barrier completes.
+        Charged once per WAL group commit and once per published file.
+        """
+        return self.seek_time_s + 2.0 * self.rotational_latency_s

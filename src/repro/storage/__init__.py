@@ -13,7 +13,7 @@ Two files make up a chunk index:
 :mod:`repro.storage.records` the paper's 100-byte descriptor record codec.
 """
 
-from .atomic import atomic_output
+from .atomic import atomic_output, fsync_directory
 from .chunk_file import (
     CHUNK_MAGIC,
     CHUNK_VERSION,
@@ -26,10 +26,21 @@ from .collection_file import (
     read_collection_file,
     write_collection_file,
 )
+from .delta import DeltaSegment, read_delta_segment, write_delta_segment
 from .errors import MAX_DIMENSIONS, ChecksumError, CorruptFileError
 from .index_file import index_file_bytes, read_index_file, write_index_file
 from .pages import DEFAULT_PAGE_BYTES, PageGeometry
 from .records import RecordCodec
+from .wal import (
+    WalBatch,
+    WalOp,
+    WalScan,
+    WalWriter,
+    delete_op,
+    insert_op,
+    scan_wal,
+    truncate_wal,
+)
 
 __all__ = [
     "ChunkExtent",
@@ -39,6 +50,18 @@ __all__ = [
     "CorruptFileError",
     "MAX_DIMENSIONS",
     "atomic_output",
+    "fsync_directory",
+    "DeltaSegment",
+    "read_delta_segment",
+    "write_delta_segment",
+    "WalOp",
+    "WalBatch",
+    "WalScan",
+    "WalWriter",
+    "insert_op",
+    "delete_op",
+    "scan_wal",
+    "truncate_wal",
     "COLLECTION_MAGIC",
     "read_collection_file",
     "write_collection_file",

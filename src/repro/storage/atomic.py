@@ -15,7 +15,7 @@ import contextlib
 import os
 from typing import BinaryIO, Iterator, Union
 
-__all__ = ["atomic_output"]
+__all__ = ["atomic_output", "fsync_directory"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -37,3 +37,23 @@ def atomic_output(path: PathLike) -> Iterator[BinaryIO]:
         with contextlib.suppress(FileNotFoundError):
             os.unlink(tmp_path)
         raise
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Fsync a directory so a just-renamed entry survives a power cut.
+
+    ``os.replace`` makes the rename atomic but not necessarily durable —
+    the directory entry itself must reach the disk.  Best effort: some
+    platforms/filesystems refuse to fsync a directory handle, which is
+    tolerated (the rename is still atomic, merely not yet durable).
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

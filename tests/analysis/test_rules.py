@@ -28,6 +28,7 @@ FIXTURES = {
     "dty001.py": "core/dty001.py",
     "dty002.py": "simio/dty002.py",
     "lay001.py": "core/lay001.py",
+    "dur001.py": "storage/dur001.py",
 }
 
 _EXPECT = re.compile(r"#\s*expect\s+([A-Z]{3}\d{3})")
@@ -95,3 +96,43 @@ def test_diagnostics_carry_location_and_message():
     assert diagnostic.line == 2
     assert "SimulatedClock" in diagnostic.message
     assert diagnostic.format().startswith("storage/pages.py:2:")
+
+
+def test_dur001_sanctioned_files_exempt():
+    """The three crash-safe write sites may write/rename directly."""
+    source = (
+        "import os\n\n\ndef publish(path, tmp):\n"
+        "    with open(tmp, 'wb') as handle:\n"
+        "        handle.write(b'x')\n"
+        "    os.replace(tmp, path)\n"
+    )
+    for sanctioned in ("storage/atomic.py", "storage/chunk_file.py", "storage/wal.py"):
+        assert [d.rule for d in lint_source(source, sanctioned)] == []
+    assert "DUR001" in [d.rule for d in lint_source(source, "storage/delta.py")]
+
+
+def test_dur001_outside_storage_gated_on_durable_keywords():
+    """Elsewhere only writes whose path expressions name a durable artifact."""
+    flagged = "def save(index_path):\n    return open(index_path, 'w')\n"
+    diagnostics = lint_source(flagged, "experiments/exporter.py")
+    assert [d.rule for d in diagnostics] == ["DUR001"]
+
+    report = "def save(out):\n    return open(out, 'w')\n"
+    assert lint_source(report, "experiments/exporter.py") == []
+
+    rename = (
+        "import os\n\n\ndef swap(tmp, manifest_path):\n"
+        "    os.replace(tmp, manifest_path)\n"
+    )
+    assert "DUR001" in [
+        d.rule for d in lint_source(rename, "experiments/exporter.py")
+    ]
+
+
+def test_dur001_shipped_tree_is_clean():
+    """The real package must publish durable artifacts only through the
+    sanctioned write sites."""
+    from repro.analysis.runner import lint_tree, package_root
+
+    result = lint_tree(package_root())
+    assert not [d for d in result.diagnostics if d.rule == "DUR001"]

@@ -1,0 +1,129 @@
+"""Property test: the pruning bound stays sound under maintenance.
+
+The searcher skips a chunk when ``max(0, d(q, centroid) - radius)``
+exceeds the current k-th distance; that is only correct if the bound
+never exceeds the true distance from the query to *any* live member of
+the chunk.  Batch-built indexes get this by construction; this test
+checks that no seeded sequence of inserts, deletes, splits and merges
+can break it — the summaries are recomputed exactly on every mutation,
+so the bound must hold (to float64 rounding) at every intermediate state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.srtree_chunker import SRTreeChunker
+from repro.core.chunk_index import build_chunk_index
+from repro.core.dataset import DescriptorCollection
+from repro.core.distance import squared_distances
+from repro.core.maintenance import ChunkIndexMaintainer
+
+
+def _assert_bound_sound(maintainer, queries):
+    """max(0, d(q, centroid) - radius) <= d(q, member), for everything."""
+    index = maintainer.to_index()
+    for query in queries:
+        for meta in index.metas:
+            ids, vectors = index.store.read_chunk(meta.chunk_id)
+            assert ids.size == meta.n_descriptors
+            true = np.sqrt(squared_distances(query, vectors))
+            bound = meta.min_distance(query)
+            # The centroid is the float64 mean of the live members and
+            # the radius their exact maximum distance, so the triangle
+            # inequality makes the bound sound up to float64 rounding
+            # of the two square roots.
+            assert bound <= true.min() + 1e-9, (
+                f"chunk {meta.chunk_id}: bound {bound} exceeds "
+                f"true distance {true.min()}"
+            )
+
+
+@st.composite
+def workloads(draw):
+    """A seeded mixed maintenance workload over a small collection."""
+    seed = draw(st.integers(0, 2**16))
+    n_base = draw(st.integers(8, 40))
+    dims = draw(st.integers(1, 6))
+    leaf = draw(st.integers(2, 8))
+    n_ops = draw(st.integers(5, 60))
+    spread = draw(st.floats(0.05, 8.0))
+    return seed, n_base, dims, leaf, n_ops, spread
+
+
+class TestPruningBoundSoundness:
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_bound_never_exceeds_true_distance(self, workload):
+        seed, n_base, dims, leaf, n_ops, spread = workload
+        rng = np.random.default_rng(seed)
+        base = DescriptorCollection.from_vectors(
+            (rng.standard_normal((n_base, dims)) * spread).astype(np.float32)
+        )
+        chunking = SRTreeChunker(leaf_capacity=leaf).form_chunks(base)
+        index = build_chunk_index(chunking.retained, chunking.chunk_set)
+        maintainer = ChunkIndexMaintainer(index)
+        queries = rng.standard_normal((3, dims)) * spread * 2
+
+        live = {int(i) for i in chunking.retained.ids}
+        next_id = 10_000
+        splits_before = maintainer.stats.splits
+        merges_before = maintainer.stats.merges
+        for _ in range(n_ops):
+            # Bias toward inserts so splits occur; deletes drive merges.
+            if live and rng.random() < 0.35 and len(live) > 1:
+                victim = int(rng.choice(sorted(live)))
+                maintainer.delete(victim)
+                live.discard(victim)
+            else:
+                # Clustered inserts (near an existing member) force
+                # splits; uniform ones exercise relocation.
+                if live and rng.random() < 0.7:
+                    anchor = maintainer.to_index()
+                    ids, vectors = anchor.store.read_chunk(0)
+                    vector = vectors[0] + rng.standard_normal(dims).astype(
+                        np.float32
+                    ) * 0.01
+                else:
+                    vector = (rng.standard_normal(dims) * spread).astype(
+                        np.float32
+                    )
+                maintainer.insert(next_id, vector)
+                live.add(next_id)
+                next_id += 1
+            _assert_bound_sound(maintainer, queries)
+        # The workload is tuned so the structural operations actually
+        # fire across the example set; this example alone may not split.
+        assert maintainer.stats.splits >= splits_before
+        assert maintainer.stats.merges >= merges_before
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_bound_sound_after_forced_splits_and_merges(self, seed):
+        """Deterministically drive both split and merge paths."""
+        rng = np.random.default_rng(seed)
+        base = DescriptorCollection.from_vectors(
+            (rng.standard_normal((24, 4)) * 2.0).astype(np.float32)
+        )
+        chunking = SRTreeChunker(leaf_capacity=6).form_chunks(base)
+        index = build_chunk_index(chunking.retained, chunking.chunk_set)
+        maintainer = ChunkIndexMaintainer(index)
+        queries = rng.standard_normal((4, 4)) * 4.0
+
+        target = maintainer.target_chunk_size
+        n_burst = int(maintainer.split_factor * target) + 2
+        anchor = base.vectors[0]
+        for i in range(n_burst):
+            maintainer.insert(20_000 + i, anchor + 0.001 * (i + 1))
+        assert maintainer.stats.splits >= 1
+        _assert_bound_sound(maintainer, queries)
+
+        for i in range(n_burst):
+            maintainer.delete(20_000 + i)
+            _assert_bound_sound(maintainer, queries)
+        for descriptor_id in sorted(int(i) for i in chunking.retained.ids)[:-2]:
+            maintainer.delete(descriptor_id)
+            _assert_bound_sound(maintainer, queries)
+        assert maintainer.stats.merges >= 1

@@ -1,0 +1,73 @@
+"""Tests for seeded crash-point plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.crash_plan import (
+    CrashAtStep,
+    CrashPlan,
+    InjectedCrash,
+    RecordingCrashPlan,
+    seeded_crash_steps,
+)
+
+
+class TestPlans:
+    def test_null_plan_counts_without_crashing(self):
+        plan = CrashPlan()
+        for _ in range(5):
+            plan.reached("wal.batch.synced")
+        assert plan.steps_seen == 5
+
+    def test_recording_plan_keeps_site_order(self):
+        plan = RecordingCrashPlan()
+        sites = ["wal.batch.frames", "wal.batch.commit", "compact.manifest"]
+        for site in sites:
+            plan.reached(site)
+        assert plan.sites == sites
+        assert plan.steps_seen == 3
+
+    def test_crash_at_step_fires_exactly_once(self):
+        plan = CrashAtStep(2)
+        plan.reached("a")
+        plan.reached("b")
+        with pytest.raises(InjectedCrash) as info:
+            plan.reached("c")
+        assert info.value.site == "c"
+        assert info.value.step == 2
+        assert plan.steps_seen == 3
+
+    def test_crash_step_past_run_never_fires(self):
+        plan = CrashAtStep(10)
+        for site in "abc":
+            plan.reached(site)
+        assert plan.steps_seen == 3
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CrashAtStep(-1)
+
+
+class TestSeededSteps:
+    def test_deterministic(self):
+        first = seeded_crash_steps(42, 30, 6)
+        second = seeded_crash_steps(42, 30, 6)
+        assert first == second
+        assert len(first) == 6
+
+    def test_sorted_unique_in_range(self):
+        steps = seeded_crash_steps(7, 50, 12)
+        assert list(steps) == sorted(set(steps))
+        assert all(0 <= s < 50 for s in steps)
+
+    def test_different_seeds_differ(self):
+        assert seeded_crash_steps(1, 100, 10) != seeded_crash_steps(2, 100, 10)
+
+    def test_full_matrix_when_points_cover_steps(self):
+        assert seeded_crash_steps(5, 4, 4) == (0, 1, 2, 3)
+        assert seeded_crash_steps(5, 4, 99) == (0, 1, 2, 3)
+
+    def test_degenerate_inputs(self):
+        assert seeded_crash_steps(5, 0, 3) == ()
+        assert seeded_crash_steps(5, 10, 0) == ()

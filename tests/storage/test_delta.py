@@ -1,0 +1,147 @@
+"""Tests for per-chunk delta segments (tombstone bitmap + appends)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage.delta import read_delta_segment, write_delta_segment
+from repro.storage.errors import ChecksumError, CorruptFileError
+
+DIMS = 6
+
+
+def _records(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    ids = np.arange(100, 100 + n, dtype=np.int64)
+    vectors = rng.standard_normal((n, DIMS)).astype(np.float32)
+    return ids, vectors
+
+
+class TestRoundTrip:
+    def test_based_segment(self, tmp_path):
+        path = str(tmp_path / "delta-000001-00001.seg")
+        live = np.array([True, False, True, True, False, False, True], dtype=bool)
+        ids, vectors = _records(3, seed=1)
+        n_bytes = write_delta_segment(path, DIMS, 4, live, ids, vectors)
+        assert n_bytes == os.path.getsize(path)
+        seg = read_delta_segment(path, DIMS)
+        assert seg.base_ref == 4
+        np.testing.assert_array_equal(seg.live, live)
+        np.testing.assert_array_equal(seg.ids, ids)
+        assert seg.vectors.dtype == np.float32
+        np.testing.assert_array_equal(seg.vectors, vectors)
+
+    def test_baseless_segment(self, tmp_path):
+        path = str(tmp_path / "delta.seg")
+        ids, vectors = _records(5, seed=2)
+        write_delta_segment(path, DIMS, -1, None, ids, vectors)
+        seg = read_delta_segment(path, DIMS)
+        assert seg.base_ref == -1
+        assert seg.live.size == 0
+        np.testing.assert_array_equal(seg.ids, ids)
+        np.testing.assert_array_equal(seg.vectors, vectors)
+
+    def test_tombstone_only_segment(self, tmp_path):
+        path = str(tmp_path / "delta.seg")
+        live = np.array([False, True, True], dtype=bool)
+        empty_ids = np.zeros(0, dtype=np.int64)
+        empty_vecs = np.zeros((0, DIMS), dtype=np.float32)
+        write_delta_segment(path, DIMS, 0, live, empty_ids, empty_vecs)
+        seg = read_delta_segment(path, DIMS)
+        np.testing.assert_array_equal(seg.live, live)
+        assert seg.ids.size == 0
+        assert seg.vectors.shape == (0, DIMS)
+
+    def test_bitmap_roundtrip_across_byte_boundaries(self, tmp_path):
+        # Liveness masks whose length is not a multiple of 8 exercise the
+        # little-endian packbits padding.
+        for n_rows in (1, 7, 8, 9, 15, 16, 17):
+            rng = np.random.default_rng(n_rows)
+            live = rng.random(n_rows) < 0.5
+            path = str(tmp_path / f"delta-{n_rows}.seg")
+            ids, vectors = _records(1, seed=n_rows)
+            write_delta_segment(path, DIMS, 2, live, ids, vectors)
+            seg = read_delta_segment(path, DIMS)
+            np.testing.assert_array_equal(seg.live, live)
+
+
+class TestValidation:
+    def test_based_segment_requires_mask(self, tmp_path):
+        ids, vectors = _records(1)
+        with pytest.raises(ValueError, match="liveness mask"):
+            write_delta_segment(str(tmp_path / "d.seg"), DIMS, 0, None, ids, vectors)
+
+    def test_baseless_segment_rejects_mask(self, tmp_path):
+        ids, vectors = _records(1)
+        with pytest.raises(ValueError, match="cannot carry a mask"):
+            write_delta_segment(
+                str(tmp_path / "d.seg"),
+                DIMS,
+                -1,
+                np.ones(3, dtype=bool),
+                ids,
+                vectors,
+            )
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        ids, _ = _records(2)
+        vectors = np.zeros((3, DIMS), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            write_delta_segment(str(tmp_path / "d.seg"), DIMS, -1, None, ids, vectors)
+
+    def test_empty_baseless_segment_rejected(self, tmp_path):
+        empty_ids = np.zeros(0, dtype=np.int64)
+        empty_vecs = np.zeros((0, DIMS), dtype=np.float32)
+        with pytest.raises(ValueError, match="tombstone or append"):
+            write_delta_segment(
+                str(tmp_path / "d.seg"), DIMS, -1, None, empty_ids, empty_vecs
+            )
+
+
+class TestCorruption:
+    def _segment(self, tmp_path) -> str:
+        path = str(tmp_path / "delta.seg")
+        live = np.array([True, False, True], dtype=bool)
+        ids, vectors = _records(2, seed=9)
+        write_delta_segment(path, DIMS, 1, live, ids, vectors)
+        return path
+
+    def test_flipped_record_byte_fails_crc(self, tmp_path):
+        path = self._segment(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as stream:
+            stream.seek(size - 3)
+            byte = stream.read(1)
+            stream.seek(size - 3)
+            stream.write(bytes([byte[0] ^ 0x01]))
+        with pytest.raises(ChecksumError, match="CRC32"):
+            read_delta_segment(path, DIMS)
+
+    def test_truncated_records(self, tmp_path):
+        path = self._segment(tmp_path)
+        with open(path, "r+b") as stream:
+            stream.truncate(os.path.getsize(path) - 5)
+        with pytest.raises(CorruptFileError, match="truncated"):
+            read_delta_segment(path, DIMS)
+
+    def test_truncated_header(self, tmp_path):
+        path = self._segment(tmp_path)
+        with open(path, "r+b") as stream:
+            stream.truncate(10)
+        with pytest.raises(CorruptFileError, match="truncated"):
+            read_delta_segment(path, DIMS)
+
+    def test_bad_magic(self, tmp_path):
+        path = self._segment(tmp_path)
+        with open(path, "r+b") as stream:
+            stream.write(b"NOTADSEG")
+        with pytest.raises(CorruptFileError, match="magic"):
+            read_delta_segment(path, DIMS)
+
+    def test_dimension_mismatch(self, tmp_path):
+        path = self._segment(tmp_path)
+        with pytest.raises(CorruptFileError, match="expects"):
+            read_delta_segment(path, DIMS + 1)

@@ -78,3 +78,67 @@ class TestFileWorkflow:
             assert main(
                 ["build", coll, sysdir, "--chunker", chunker, "--chunk-size", "64"]
             ) == 0
+
+
+class TestIngestSimCommand:
+    def test_watch_mode_with_json(self, tmp_path, capsys):
+        import json
+
+        report_path = str(tmp_path / "out.json")
+        assert (
+            main(
+                [
+                    "ingestsim",
+                    "--scale",
+                    "test",
+                    "--steps",
+                    "2",
+                    "--json",
+                    report_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "final verify ok: True" in out
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["experiment"] == "ingestsim"
+        assert len(report["series"]) == 2
+
+    def test_crash_matrix_mode(self, capsys):
+        assert main(["ingestsim", "--scale", "test", "--crash-matrix", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all recoveries consistent: True" in out
+
+    def test_bad_config_rejected(self, capsys):
+        assert main(["ingestsim", "--scale", "test", "--steps", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestVerifyIndexCommand:
+    def test_verify_after_ingest(self, tmp_path, capsys):
+        workdir = str(tmp_path / "stream")
+        assert (
+            main(
+                [
+                    "ingestsim",
+                    "--scale",
+                    "test",
+                    "--steps",
+                    "2",
+                    "--workdir",
+                    workdir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["verify-index", workdir]) == 0
+        out = capsys.readouterr().out
+        assert "index ok" in out
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["verify-index", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "verification failed" in err
